@@ -1,0 +1,58 @@
+"""Ablation benchmarks for the reproduction's design choices (see DESIGN.md).
+
+Not figures from the paper: these quantify the knobs the reproduction had to
+choose -- surrogate gradient family, threshold granularity, membrane reset
+mode and accumulator word length -- so a reader can judge how sensitive the
+headline results are to each choice.
+"""
+
+import pytest
+
+from conftest import bench_config, emit, run_once
+from repro.experiments import (
+    ablate_accumulator_width,
+    ablate_reset_mode,
+    ablate_surrogate_gradient,
+    ablate_threshold_granularity,
+)
+
+
+def test_ablation_surrogate_gradient(benchmark):
+    config = bench_config("mnist")
+    records = run_once(benchmark, ablate_surrogate_gradient, config,
+                       surrogates=("triangle", "atan", "sigmoid"))
+    emit(records, name="ablation_surrogate",
+         title="Ablation: baseline accuracy per surrogate gradient",
+         table_columns=["dataset", "surrogate", "epochs", "accuracy"])
+    assert len(records) == 3
+    assert all(r["accuracy"] > 0.3 for r in records)
+
+
+def test_ablation_threshold_granularity(benchmark):
+    config = bench_config("mnist")
+    records = run_once(benchmark, ablate_threshold_granularity, config, fault_rate=0.30)
+    emit(records, name="ablation_threshold_granularity",
+         title="Ablation: FalVolt threshold initialisation / granularity",
+         table_columns=["dataset", "granularity", "fault_rate", "accuracy"])
+    assert len(records) == 2
+
+
+def test_ablation_reset_mode(benchmark):
+    config = bench_config("mnist")
+    records = run_once(benchmark, ablate_reset_mode, config,
+                       epochs=max(4, config.baseline_epochs // 2))
+    emit(records, name="ablation_reset_mode",
+         title="Ablation: hard vs soft membrane reset",
+         table_columns=["dataset", "reset_mode", "epochs", "accuracy"])
+    assert {r["reset_mode"] for r in records} == {"hard", "soft"}
+
+
+def test_ablation_accumulator_width(benchmark):
+    config = bench_config("mnist")
+    records = run_once(benchmark, ablate_accumulator_width, config,
+                       widths=(8, 12, 16, 24), num_faulty=8, trials=2)
+    emit(records, name="ablation_accumulator_width",
+         title="Ablation: unmitigated fault impact vs accumulator word length",
+         table_columns=["dataset", "total_bits", "num_faulty_pes", "accuracy",
+                        "baseline_accuracy"])
+    assert len(records) == 4

@@ -1,0 +1,23 @@
+"""Figure 6 — per-layer threshold voltages optimized by FalVolt.
+
+After FalVolt retraining at 10 %, 30 % and 60 % fault rates, the paper
+reports the optimized threshold voltage of every hidden convolutional and
+fully connected layer.  This benchmark prints the same per-layer table.
+"""
+
+from conftest import bench_config, emit, run_once
+from repro.experiments import PAPER_FAULT_RATES, run_fig6_optimized_thresholds
+
+
+def test_fig6_optimized_thresholds(benchmark, dataset_name, dataset_baseline):
+    config = bench_config(dataset_name)
+    records = run_once(benchmark, run_fig6_optimized_thresholds, config,
+                       fault_rates=PAPER_FAULT_RATES)
+    emit(records, name=f"fig6_{dataset_name}",
+         title=f"Fig. 6 ({dataset_name}): optimized per-layer threshold voltage (FalVolt)",
+         table_columns=["dataset", "fault_rate", "layer", "threshold_voltage", "accuracy"],
+         series=("layer", "threshold_voltage", "fault_rate"))
+
+    expected_layers = 7 if dataset_name == "dvs_gesture" else 4
+    assert len(records) == expected_layers * len(PAPER_FAULT_RATES)
+    assert all(r["threshold_voltage"] > 0.0 for r in records)

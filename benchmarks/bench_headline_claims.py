@@ -1,0 +1,23 @@
+"""Headline claims (abstract / Section I) evaluated end to end.
+
+Three claims: (1) a handful of faulty PEs destroys accuracy, (2) FalVolt
+recovers the baseline even at a 60 % fault rate, (3) FalVolt needs fewer
+retraining epochs than FaPIT.  This benchmark runs the full pipeline for the
+MNIST configuration and prints a paper-vs-measured verdict table.
+"""
+
+from conftest import bench_config, emit, run_once
+from repro.experiments import run_headline_claims
+
+
+def test_headline_claims(benchmark):
+    config = bench_config("mnist")
+    records = run_once(benchmark, run_headline_claims, config)
+    emit(records, name="headline_mnist",
+         title="Headline claims (MNIST configuration): paper vs measured",
+         table_columns=["claim", "paper", "measured", "holds"])
+
+    assert len(records) == 3
+    # The two central claims (vulnerability + FalVolt recovery) must hold.
+    assert records[0]["holds"]
+    assert records[1]["holds"]

@@ -1,0 +1,83 @@
+"""Shared infrastructure for the figure-reproduction benchmarks.
+
+Each benchmark module regenerates one figure of the paper: it runs the
+corresponding experiment driver once (via ``benchmark.pedantic`` so
+pytest-benchmark records the wall-clock cost without repeating the run),
+prints the resulting rows/series in the same shape the paper reports, and
+saves the raw records as JSON under ``benchmarks/results/``.
+
+Scaling: the benchmarks default to the "small" experiment scale so the whole
+suite finishes in minutes on a laptop CPU.  Set ``REPRO_BENCH_SCALE=full``
+for the larger overnight configuration.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.experiments import default_config, format_series, format_table, prepare_baseline
+from repro.utils import save_records
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: Experiment scale used by every benchmark ("small" or "full").
+BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+
+#: Datasets exercised by the benchmarks.  All three paper datasets by default;
+#: set REPRO_BENCH_DATASETS=mnist (comma separated) to restrict.
+BENCH_DATASETS = tuple(
+    name.strip() for name in
+    os.environ.get("REPRO_BENCH_DATASETS", "mnist,nmnist,dvs_gesture").split(",") if name.strip())
+
+
+def bench_config(dataset: str, **overrides):
+    """Benchmark configuration for ``dataset`` at the selected scale."""
+
+    return default_config(dataset, scale=BENCH_SCALE, **overrides)
+
+
+@pytest.fixture(scope="session", params=BENCH_DATASETS)
+def dataset_name(request):
+    """Parametrised dataset fixture shared by the per-figure benchmarks."""
+
+    return request.param
+
+
+@pytest.fixture(scope="session")
+def dataset_baseline(dataset_name):
+    """Trained baseline model for the dataset (cached across benchmark modules)."""
+
+    return prepare_baseline(bench_config(dataset_name))
+
+
+def emit(records, *, name: str, title: str, table_columns=None,
+         series=None) -> None:
+    """Print records (table and/or series) and persist them as JSON + text."""
+
+    chunks = []
+    if table_columns:
+        chunks.append(format_table(records, columns=table_columns, title=title))
+    if series:
+        x, y, group = series
+        chunks.append(format_series(records, x=x, y=y, group_by=group,
+                                    title=f"{title} (series)"))
+    text = "\n".join(chunks)
+    print("\n" + text)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    save_records(records, RESULTS_DIR / f"{name}.json")
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Execute ``fn`` exactly once under pytest-benchmark timing."""
+
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1,
+                              warmup_rounds=0)

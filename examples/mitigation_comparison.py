@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""FaP vs FaPIT vs FalVolt across fault rates (paper Fig. 7 / Fig. 8).
+
+For the chosen dataset this example runs all three mitigation methods on the
+same fault maps at the paper's fault rates (10 %, 30 %, 60 %), prints the
+recovered accuracies (Fig. 7), and then compares the epoch-by-epoch
+convergence of FaPIT and FalVolt at 30 % faults (Fig. 8), reporting the
+epochs-to-baseline speedup that the paper quotes as ~2x.
+
+    python examples/mitigation_comparison.py --dataset mnist
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments import (
+    PAPER_FAULT_RATES,
+    convergence_speedup,
+    default_config,
+    format_series,
+    format_table,
+    run_fig7_mitigation_comparison,
+    run_fig8_convergence,
+)
+from repro.utils import configure_logging, save_records
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", choices=("mnist", "nmnist", "dvs_gesture"),
+                        default="mnist")
+    parser.add_argument("--scale", choices=("small", "full"), default="small")
+    parser.add_argument("--convergence-epochs", type=int, default=None,
+                        help="retraining epoch budget for the Fig. 8 comparison")
+    parser.add_argument("--out", type=Path, default=None)
+    return parser.parse_args()
+
+
+def main() -> int:
+    args = parse_args()
+    configure_logging()
+    config = default_config(args.dataset, scale=args.scale)
+
+    print(f"== Fig. 7: mitigation comparison ({args.dataset}) ==")
+    fig7 = run_fig7_mitigation_comparison(config, fault_rates=PAPER_FAULT_RATES)
+    print(format_table(fig7, columns=["fault_rate", "method", "accuracy",
+                                      "accuracy_drop", "pruned_fraction"]))
+    print(format_series(fig7, x="fault_rate", y="accuracy", group_by="method"))
+
+    epochs = args.convergence_epochs or (config.retrain_epochs + 4)
+    print(f"\n== Fig. 8: convergence at 30% faulty PEs ({epochs} epoch budget) ==")
+    fig8 = run_fig8_convergence(config, fault_rate=0.30, retraining_epochs=epochs)
+    print(format_series(fig8, x="epoch", y="accuracy", group_by="method"))
+    speedup = convergence_speedup(fig8)
+    if speedup is None:
+        print("epochs-to-baseline: at least one method did not reach the baseline "
+              "within the budget; increase --convergence-epochs")
+    else:
+        print(f"epochs-to-baseline speedup (FaPIT / FalVolt): {speedup:.2f}x (paper: ~2x)")
+
+    if args.out is not None:
+        save_records({"fig7": fig7, "fig8": fig8}, args.out)
+        print(f"\nrecords saved to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

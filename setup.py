@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file exists
+so the package can be installed editable in offline environments whose
+setuptools lacks the ``wheel`` backend required by PEP 660 editable installs
+(``pip install -e . --no-build-isolation --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,51 @@
+"""Minimal reverse-mode autodiff engine used by the FalVolt reproduction.
+
+Public surface:
+
+* :class:`Tensor` -- numpy-backed tensor with gradient tracking.
+* :func:`no_grad` -- context manager disabling graph construction.
+* :mod:`repro.autograd.functional` -- NN primitives (linear, conv2d, pooling,
+  batch-norm, dropout, softmax) and the :class:`Function` custom-gradient hook.
+* :mod:`repro.autograd.gradcheck` -- finite-difference gradient validation.
+"""
+
+from .tensor import Tensor, as_tensor, concatenate, is_grad_enabled, no_grad, stack, where
+from .functional import (
+    Function,
+    avg_pool2d,
+    batch_norm,
+    conv2d,
+    dropout,
+    im2col,
+    col2im,
+    linear,
+    log_softmax,
+    max_pool2d,
+    one_hot,
+    softmax,
+)
+from .gradcheck import check_gradients, numerical_gradient
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "concatenate",
+    "is_grad_enabled",
+    "no_grad",
+    "stack",
+    "where",
+    "Function",
+    "avg_pool2d",
+    "batch_norm",
+    "conv2d",
+    "dropout",
+    "im2col",
+    "col2im",
+    "linear",
+    "log_softmax",
+    "max_pool2d",
+    "one_hot",
+    "softmax",
+    "check_gradients",
+    "numerical_gradient",
+]

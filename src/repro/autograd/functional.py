@@ -1,0 +1,308 @@
+"""Neural-network functional primitives built on :class:`repro.autograd.Tensor`.
+
+The functions in this module implement the standard building blocks needed by
+the spiking networks in this reproduction: dense and convolutional affine
+transforms, pooling, batch normalisation, dropout and the custom-gradient
+machinery used by the Heaviside spike function with a surrogate derivative.
+
+Convolutions are implemented with im2col + matmul, which keeps the backward
+pass simple (it reuses the matmul gradient plus a col2im scatter) and is fast
+enough for the small networks used in the FalVolt experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .tensor import Tensor, _as_array
+
+
+class Function:
+    """Base class for operations with custom (non-autodiff) gradients.
+
+    Subclasses implement :meth:`forward` returning the output array and any
+    context needed by :meth:`backward`, which maps the output gradient to
+    gradients of the inputs.  This is the hook used for the spike Heaviside
+    step with a surrogate derivative.
+    """
+
+    @staticmethod
+    def forward(ctx: dict, *arrays: np.ndarray, **kwargs) -> np.ndarray:
+        raise NotImplementedError
+
+    @staticmethod
+    def backward(ctx: dict, grad: np.ndarray) -> Tuple[Optional[np.ndarray], ...]:
+        raise NotImplementedError
+
+    @classmethod
+    def apply(cls, *inputs, **kwargs) -> Tensor:
+        tensors = [x if isinstance(x, Tensor) else Tensor(x) for x in inputs]
+        ctx: dict = {}
+        data = cls.forward(ctx, *[t.data for t in tensors], **kwargs)
+
+        def backward(grad: np.ndarray) -> None:
+            grads = cls.backward(ctx, grad)
+            if not isinstance(grads, tuple):
+                grads = (grads,)
+            for tensor, g in zip(tensors, grads):
+                if tensor.requires_grad and g is not None:
+                    tensor._accumulate(g)
+
+        return Tensor._make(data, tensors, backward)
+
+
+# ----------------------------------------------------------------------
+# Dense / affine
+# ----------------------------------------------------------------------
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine transform ``x @ weight.T + bias``.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(batch, in_features)``.
+    weight:
+        Weight of shape ``(out_features, in_features)``.
+    bias:
+        Optional bias of shape ``(out_features,)``.
+    """
+
+    out = x @ weight.T
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+# ----------------------------------------------------------------------
+# im2col helpers (shared by conv2d and its tests)
+# ----------------------------------------------------------------------
+def _conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def im2col(x: np.ndarray, kernel: Tuple[int, int], stride: int, padding: int) -> np.ndarray:
+    """Rearrange image patches into columns.
+
+    Input shape ``(batch, channels, height, width)``; output shape
+    ``(batch, out_h, out_w, channels * kh * kw)``.
+    """
+
+    batch, channels, height, width = x.shape
+    kh, kw = kernel
+    out_h = _conv_output_size(height, kh, stride, padding)
+    out_w = _conv_output_size(width, kw, stride, padding)
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    strides = x.strides
+    shape = (batch, channels, out_h, out_w, kh, kw)
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=shape,
+        strides=(strides[0], strides[1], strides[2] * stride, strides[3] * stride,
+                 strides[2], strides[3]),
+        writeable=False,
+    )
+    # (batch, out_h, out_w, channels, kh, kw) -> flatten channel/kernel dims
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(batch, out_h, out_w, channels * kh * kw)
+    return np.ascontiguousarray(cols)
+
+
+def col2im(cols: np.ndarray, input_shape: Tuple[int, int, int, int],
+           kernel: Tuple[int, int], stride: int, padding: int) -> np.ndarray:
+    """Inverse of :func:`im2col` (scatter-add), used for the conv backward pass."""
+
+    batch, channels, height, width = input_shape
+    kh, kw = kernel
+    out_h = _conv_output_size(height, kh, stride, padding)
+    out_w = _conv_output_size(width, kw, stride, padding)
+    padded = np.zeros((batch, channels, height + 2 * padding, width + 2 * padding))
+    cols = cols.reshape(batch, out_h, out_w, channels, kh, kw)
+    for i in range(kh):
+        for j in range(kw):
+            padded[:, :, i:i + stride * out_h:stride, j:j + stride * out_w:stride] += (
+                cols[:, :, :, :, i, j].transpose(0, 3, 1, 2)
+            )
+    if padding > 0:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+class _Conv2dFunction(Function):
+    """2D convolution with im2col; gradients for input, weight and bias."""
+
+    @staticmethod
+    def forward(ctx: dict, x: np.ndarray, weight: np.ndarray, bias: Optional[np.ndarray] = None,
+                *, stride: int = 1, padding: int = 0) -> np.ndarray:
+        out_channels, in_channels, kh, kw = weight.shape
+        cols = im2col(x, (kh, kw), stride, padding)
+        batch, out_h, out_w, _ = cols.shape
+        flat_weight = weight.reshape(out_channels, -1)
+        out = cols @ flat_weight.T
+        if bias is not None:
+            out = out + bias
+        ctx.update(
+            cols=cols, weight=weight, x_shape=x.shape, stride=stride,
+            padding=padding, has_bias=bias is not None,
+        )
+        return out.transpose(0, 3, 1, 2)
+
+    @staticmethod
+    def backward(ctx: dict, grad: np.ndarray) -> Tuple[Optional[np.ndarray], ...]:
+        cols = ctx["cols"]
+        weight = ctx["weight"]
+        out_channels = weight.shape[0]
+        kh, kw = weight.shape[2], weight.shape[3]
+        grad_flat = grad.transpose(0, 2, 3, 1)  # (batch, out_h, out_w, out_channels)
+        flat_weight = weight.reshape(out_channels, -1)
+
+        grad_cols = grad_flat @ flat_weight
+        grad_x = col2im(grad_cols, ctx["x_shape"], (kh, kw), ctx["stride"], ctx["padding"])
+
+        grad_weight = np.tensordot(grad_flat, cols, axes=([0, 1, 2], [0, 1, 2]))
+        grad_weight = grad_weight.reshape(weight.shape)
+
+        grad_bias = grad_flat.sum(axis=(0, 1, 2)) if ctx["has_bias"] else None
+        return grad_x, grad_weight, grad_bias
+
+
+def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
+           stride: int = 1, padding: int = 0) -> Tensor:
+    """2D convolution over ``(batch, channels, height, width)`` input."""
+
+    if bias is None:
+        return _Conv2dFunction.apply(x, weight, stride=stride, padding=padding)
+    return _Conv2dFunction.apply(x, weight, bias, stride=stride, padding=padding)
+
+
+# ----------------------------------------------------------------------
+# Pooling
+# ----------------------------------------------------------------------
+def avg_pool2d(x: Tensor, kernel_size: int) -> Tensor:
+    """Non-overlapping average pooling with square windows.
+
+    Requires the spatial dimensions to be divisible by ``kernel_size`` (the
+    model builders in :mod:`repro.snn.models` guarantee this).
+    """
+
+    batch, channels, height, width = x.shape
+    if height % kernel_size or width % kernel_size:
+        raise ValueError(
+            f"avg_pool2d requires spatial dims divisible by {kernel_size}, got {height}x{width}"
+        )
+    out_h, out_w = height // kernel_size, width // kernel_size
+    reshaped = x.reshape(batch, channels, out_h, kernel_size, out_w, kernel_size)
+    return reshaped.mean(axis=(3, 5))
+
+
+class _MaxPool2dFunction(Function):
+    @staticmethod
+    def forward(ctx: dict, x: np.ndarray, *, kernel_size: int) -> np.ndarray:
+        batch, channels, height, width = x.shape
+        out_h, out_w = height // kernel_size, width // kernel_size
+        reshaped = x.reshape(batch, channels, out_h, kernel_size, out_w, kernel_size)
+        windows = reshaped.transpose(0, 1, 2, 4, 3, 5).reshape(
+            batch, channels, out_h, out_w, kernel_size * kernel_size)
+        argmax = windows.argmax(axis=-1)
+        ctx.update(x_shape=x.shape, kernel_size=kernel_size, argmax=argmax)
+        return windows.max(axis=-1)
+
+    @staticmethod
+    def backward(ctx: dict, grad: np.ndarray) -> Tuple[Optional[np.ndarray], ...]:
+        batch, channels, height, width = ctx["x_shape"]
+        k = ctx["kernel_size"]
+        out_h, out_w = height // k, width // k
+        argmax = ctx["argmax"]
+        grad_windows = np.zeros((batch, channels, out_h, out_w, k * k))
+        idx = np.indices(argmax.shape)
+        grad_windows[idx[0], idx[1], idx[2], idx[3], argmax] = grad
+        grad_x = grad_windows.reshape(batch, channels, out_h, out_w, k, k)
+        grad_x = grad_x.transpose(0, 1, 2, 4, 3, 5).reshape(batch, channels, height, width)
+        return (grad_x,)
+
+
+def max_pool2d(x: Tensor, kernel_size: int) -> Tensor:
+    """Non-overlapping max pooling with square windows."""
+
+    height, width = x.shape[2], x.shape[3]
+    if height % kernel_size or width % kernel_size:
+        raise ValueError(
+            f"max_pool2d requires spatial dims divisible by {kernel_size}, got {height}x{width}"
+        )
+    return _MaxPool2dFunction.apply(x, kernel_size=kernel_size)
+
+
+# ----------------------------------------------------------------------
+# Normalisation and regularisation
+# ----------------------------------------------------------------------
+def batch_norm(x: Tensor, gamma: Tensor, beta: Tensor,
+               running_mean: np.ndarray, running_var: np.ndarray,
+               training: bool, momentum: float = 0.1, eps: float = 1e-5) -> Tensor:
+    """Batch normalisation over the channel dimension of a 2D or 4D tensor.
+
+    ``running_mean`` / ``running_var`` are plain numpy arrays owned by the
+    calling layer and are updated in place when ``training`` is true.
+    """
+
+    if x.ndim == 4:
+        axes = (0, 2, 3)
+        view = (1, -1, 1, 1)
+    elif x.ndim == 2:
+        axes = (0,)
+        view = (1, -1)
+    else:
+        raise ValueError(f"batch_norm expects 2D or 4D input, got {x.ndim}D")
+
+    if training:
+        mean = x.mean(axis=axes, keepdims=True)
+        var = x.var(axis=axes, keepdims=True)
+        running_mean *= (1.0 - momentum)
+        running_mean += momentum * mean.data.reshape(-1)
+        running_var *= (1.0 - momentum)
+        running_var += momentum * var.data.reshape(-1)
+    else:
+        mean = Tensor(running_mean.reshape(view))
+        var = Tensor(running_var.reshape(view))
+
+    inv_std = (var + eps) ** -0.5
+    normalised = (x - mean) * inv_std
+    return normalised * gamma.reshape(view) + beta.reshape(view)
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Tensor:
+    """Inverted dropout: zero activations with probability ``p`` during training."""
+
+    if not training or p <= 0.0:
+        return x
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    mask = (rng.random(x.shape) >= p).astype(np.float64) / (1.0 - p)
+    return x * Tensor(mask)
+
+
+# ----------------------------------------------------------------------
+# Output heads / losses helpers
+# ----------------------------------------------------------------------
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Return a ``(batch, num_classes)`` one-hot float array."""
+
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.ndim != 1:
+        raise ValueError("labels must be a 1D array of class indices")
+    if labels.min(initial=0) < 0 or (labels.size and labels.max() >= num_classes):
+        raise ValueError("label out of range for one_hot")
+    encoded = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    encoded[np.arange(labels.shape[0]), labels] = 1.0
+    return encoded

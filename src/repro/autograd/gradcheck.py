@@ -1,0 +1,57 @@
+"""Numerical gradient checking utilities.
+
+Used by the test-suite to validate every differentiable operation in the
+engine against central finite differences.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def numerical_gradient(fn: Callable[..., Tensor], inputs: Sequence[Tensor],
+                       index: int, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of ``sum(fn(*inputs))`` w.r.t. ``inputs[index]``."""
+
+    target = inputs[index]
+    grad = np.zeros_like(target.data)
+    flat = target.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = float(fn(*inputs).data.sum())
+        flat[i] = original - eps
+        minus = float(fn(*inputs).data.sum())
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def check_gradients(fn: Callable[..., Tensor], inputs: Sequence[Tensor],
+                    atol: float = 1e-4, rtol: float = 1e-3, eps: float = 1e-6) -> bool:
+    """Compare autodiff gradients of ``sum(fn(*inputs))`` against finite differences.
+
+    Raises ``AssertionError`` with a diagnostic message on mismatch; returns
+    ``True`` when every input gradient matches.
+    """
+
+    for tensor in inputs:
+        tensor.zero_grad()
+    output = fn(*inputs)
+    output.sum().backward()
+    for index, tensor in enumerate(inputs):
+        if not tensor.requires_grad:
+            continue
+        expected = numerical_gradient(fn, inputs, index, eps=eps)
+        actual = tensor.grad if tensor.grad is not None else np.zeros_like(tensor.data)
+        if not np.allclose(actual, expected, atol=atol, rtol=rtol):
+            max_err = float(np.abs(actual - expected).max())
+            raise AssertionError(
+                f"gradient mismatch for input {index}: max abs error {max_err:.3e}"
+            )
+    return True

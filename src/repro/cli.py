@@ -1,0 +1,122 @@
+"""Command-line interface for the FalVolt reproduction.
+
+Exposes the experiment registry so every figure of the paper can be
+regenerated from the shell::
+
+    python -m repro list                      # list all registered experiments
+    python -m repro run fig7 --dataset mnist  # regenerate one figure
+    python -m repro run fig5b --dataset dvs_gesture --out fig5b.json
+    python -m repro info                      # package / configuration summary
+
+The CLI is a thin layer over :mod:`repro.experiments`; anything it can do is
+also available programmatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from . import __version__
+from .experiments import (
+    EXPERIMENTS,
+    default_config,
+    format_table,
+    get_experiment,
+    list_experiments,
+)
+from .experiments.config import PAPER_DATASETS, SCALES
+from .utils import configure_logging, save_records
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Improving Reliability of Spiking Neural Networks "
+                    "through Fault Aware Threshold Voltage Optimization' (FalVolt, DATE 2023)")
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command")
+
+    list_parser = subparsers.add_parser("list", help="list registered experiments")
+    list_parser.set_defaults(handler=_cmd_list)
+
+    info_parser = subparsers.add_parser("info", help="show package and preset information")
+    info_parser.set_defaults(handler=_cmd_info)
+
+    run_parser = subparsers.add_parser("run", help="run one registered experiment")
+    run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS),
+                            help="experiment id (e.g. fig7)")
+    run_parser.add_argument("--dataset", choices=PAPER_DATASETS, default="mnist")
+    run_parser.add_argument("--scale", choices=sorted(SCALES), default="small")
+    run_parser.add_argument("--seed", type=int, default=None,
+                            help="override the preset seed")
+    run_parser.add_argument("--out", default=None,
+                            help="optional JSON path for the raw records")
+    run_parser.set_defaults(handler=_cmd_run)
+    return parser
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    rows = [{
+        "id": spec.experiment_id,
+        "paper artifact": spec.paper_artifact,
+        "description": spec.description,
+    } for spec in list_experiments()]
+    print(format_table(rows, columns=["id", "paper artifact", "description"],
+                       title="Registered experiments"))
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    print(f"repro {__version__} -- FalVolt (DATE 2023) reproduction")
+    print(f"datasets: {', '.join(PAPER_DATASETS)}")
+    print(f"scales:   {', '.join(sorted(SCALES))}")
+    rows = []
+    for dataset in PAPER_DATASETS:
+        config = default_config(dataset)
+        rows.append({
+            "dataset": dataset,
+            "train/test": f"{config.num_train}/{config.num_test}",
+            "channels": config.channels,
+            "time steps": config.time_steps,
+            "array": f"{config.array_rows}x{config.array_cols}",
+            "baseline epochs": config.baseline_epochs,
+        })
+    print(format_table(rows, columns=["dataset", "train/test", "channels", "time steps",
+                                      "array", "baseline epochs"],
+                       title="Small-scale presets"))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = get_experiment(args.experiment)
+    overrides = {}
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    config = default_config(args.dataset, scale=args.scale, **overrides)
+    print(f"running {spec.experiment_id} ({spec.paper_artifact}) on {args.dataset} "
+          f"[{args.scale} scale]")
+    records = spec.runner(config)
+    if records and isinstance(records, list) and isinstance(records[0], dict):
+        print(format_table(records, title=f"{spec.experiment_id} records"))
+    if args.out:
+        save_records(records, args.out)
+        print(f"records saved to {args.out}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+
+    configure_logging()
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not getattr(args, "handler", None):
+        parser.print_help()
+        return 2
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""Fault-aware pruning (FaP): bypass faulty PEs, no retraining.
+
+The paper uses FaP as the weakest baseline (Fig. 7): the weights mapped to
+faulty PEs are zeroed (equivalent to the hardware bypass of Fig. 3b) and the
+network is deployed as-is.  As the fault rate grows the accumulated pruning
+destroys accuracy.  FaP is exactly FalVolt with zero retraining epochs
+(paper, Section IV).
+"""
+
+from __future__ import annotations
+
+from .base import FaultMitigation
+
+
+class FaultAwarePruning(FaultMitigation):
+    """FaP baseline: prune weights mapped to faulty PEs and stop."""
+
+    method_name = "FaP"
+
+    def __init__(self, **kwargs) -> None:
+        kwargs.setdefault("retraining_epochs", 0)
+        if kwargs.get("retraining_epochs", 0) != 0:
+            raise ValueError("FaP performs no retraining; use FaPIT or FalVolt instead")
+        super().__init__(**kwargs)

@@ -1,0 +1,99 @@
+"""Fault-aware weight pruning (Algorithm 1, lines 1-2 and 13).
+
+Given a per-chip fault map, the weights that the weight-stationary dataflow
+would place on faulty PEs are located (``FindPrunedWeightsIndices``) and set
+to zero (``SetPrunedWeightsToZero``).  Zeroing a weight is the software
+counterpart of bypassing the faulty PE with the multiplexer of Fig. 3b: the
+PE's contribution to the column sum is skipped.
+
+Because the array is reused across tiles and across layers, one faulty PE
+generally prunes several weights in every layer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..faults.fault_map import FaultMap
+from ..snn.layers import Conv2d, Linear
+from ..snn.module import Module
+from ..systolic.mapping import faulty_mask_for_layer_weight
+
+
+def affine_layers(model: Module) -> List[Tuple[str, Module]]:
+    """Return (name, layer) for every Conv2d / Linear layer mapped to the array.
+
+    Names are the fully qualified parameter prefixes (e.g.
+    ``layers.layer3``) so masks can be stored and re-applied by name.
+    """
+
+    found: List[Tuple[str, Module]] = []
+
+    def visit(module: Module, prefix: str) -> None:
+        for child_name, child in module._modules.items():
+            qualified = f"{prefix}{child_name}"
+            if isinstance(child, (Conv2d, Linear)):
+                found.append((qualified, child))
+            visit(child, f"{qualified}.")
+
+    visit(model, "")
+    return found
+
+
+def find_pruned_weight_indices(model: Module, fault_map: FaultMap) -> Dict[str, np.ndarray]:
+    """``FindPrunedWeightsIndices``: boolean prune-mask per affine layer.
+
+    The mask has the shape of the layer's weight tensor; ``True`` marks
+    weights mapped onto a faulty PE.
+    """
+
+    coords = fault_map.coordinates()
+    masks: Dict[str, np.ndarray] = {}
+    for name, layer in affine_layers(model):
+        masks[name] = faulty_mask_for_layer_weight(layer.weight.data, coords,
+                                                   fault_map.rows, fault_map.cols)
+    return masks
+
+
+def set_pruned_weights_to_zero(model: Module, masks: Dict[str, np.ndarray]) -> int:
+    """``SetPrunedWeightsToZero``: zero every masked weight in place.
+
+    Returns the total number of weights zeroed.
+    """
+
+    layers = dict(affine_layers(model))
+    zeroed = 0
+    for name, mask in masks.items():
+        if name not in layers:
+            raise KeyError(f"layer '{name}' not found in model")
+        layer = layers[name]
+        if mask.shape != layer.weight.data.shape:
+            raise ValueError(f"mask shape {mask.shape} does not match weight "
+                             f"shape {layer.weight.data.shape} for layer '{name}'")
+        layer.weight.data[mask] = 0.0
+        zeroed += int(mask.sum())
+    return zeroed
+
+
+def pruned_fraction(masks: Dict[str, np.ndarray]) -> float:
+    """Fraction of all mapped weights that are pruned, in [0, 1]."""
+
+    total = sum(int(np.asarray(mask).size) for mask in masks.values())
+    pruned = sum(int(np.asarray(mask).sum()) for mask in masks.values())
+    return pruned / total if total else 0.0
+
+
+class PruningMaskCallback:
+    """Epoch callback that re-zeroes pruned weights (Algorithm 1, line 13).
+
+    Gradient updates during retraining would otherwise move the pruned
+    weights away from zero, which the bypassed hardware cannot realise.
+    """
+
+    def __init__(self, masks: Dict[str, np.ndarray]) -> None:
+        self.masks = masks
+
+    def __call__(self, model: Module, epoch: int, logs: dict) -> None:
+        set_pruned_weights_to_zero(model, self.masks)

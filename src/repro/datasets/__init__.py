@@ -1,0 +1,58 @@
+"""Synthetic datasets standing in for MNIST, N-MNIST and DVS128 Gesture.
+
+The original datasets cannot be downloaded in this offline environment; the
+generators here produce procedurally rendered equivalents that exercise the
+same code paths (static images for MNIST, two-polarity event frames for the
+neuromorphic datasets).  See DESIGN.md for the substitution rationale.
+"""
+
+from typing import Callable, Dict, Tuple
+
+from .base import ArrayDataset, DataLoader
+from .synthetic_mnist import generate_mnist, generate_mnist_splits, render_digit
+from .synthetic_nmnist import events_from_motion, generate_nmnist, generate_nmnist_splits
+from .synthetic_dvs_gesture import (
+    NUM_GESTURE_CLASSES,
+    generate_dvs_gesture,
+    generate_dvs_gesture_splits,
+    gesture_events,
+)
+
+#: name -> split-generator returning (train, test) ArrayDatasets.
+DATASET_GENERATORS: Dict[str, Callable[..., Tuple[ArrayDataset, ArrayDataset]]] = {
+    "mnist": generate_mnist_splits,
+    "nmnist": generate_nmnist_splits,
+    "dvs_gesture": generate_dvs_gesture_splits,
+}
+
+
+def load_dataset(name: str, **kwargs) -> Tuple[ArrayDataset, ArrayDataset]:
+    """Generate the (train, test) split of a named dataset.
+
+    ``name`` is one of ``"mnist"``, ``"nmnist"`` or ``"dvs_gesture"``;
+    keyword arguments are forwarded to the generator (``num_train``,
+    ``num_test``, ``image_size``, ``seed``, ...).
+    """
+
+    key = name.lower()
+    if key not in DATASET_GENERATORS:
+        raise KeyError(f"unknown dataset '{name}'; options: {sorted(DATASET_GENERATORS)}")
+    return DATASET_GENERATORS[key](**kwargs)
+
+
+__all__ = [
+    "ArrayDataset",
+    "DataLoader",
+    "DATASET_GENERATORS",
+    "load_dataset",
+    "generate_mnist",
+    "generate_mnist_splits",
+    "render_digit",
+    "events_from_motion",
+    "generate_nmnist",
+    "generate_nmnist_splits",
+    "NUM_GESTURE_CLASSES",
+    "generate_dvs_gesture",
+    "generate_dvs_gesture_splits",
+    "gesture_events",
+]

@@ -1,0 +1,138 @@
+"""Synthetic stand-in for the DVS128 Gesture dataset.
+
+DVS128 Gesture (Amir et al., CVPR 2017) contains 11 hand-gesture classes
+recorded with an event camera.  This module synthesises 11 visually distinct
+*motion patterns* -- translating bars, rotating blobs, expanding and
+contracting rings, and so on -- and converts the moving intensity frames into
+ON/OFF event frames, producing samples of shape ``(T, 2, H, W)``.
+
+The gestures differ only in their *motion over time*, not in any single
+frame, so a classifier must integrate temporal information, mirroring the
+property that makes the real DVS Gesture harder (and more fault sensitive)
+than the static datasets in the paper's experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from ..utils.rng import derive_seed, get_rng
+from .base import ArrayDataset
+
+NUM_GESTURE_CLASSES = 11
+
+
+def _blob(center: Tuple[float, float], size: int, radius: float = 1.8) -> np.ndarray:
+    """Gaussian blob centred at ``center`` on a ``size x size`` canvas."""
+
+    ys, xs = np.mgrid[0:size, 0:size]
+    cy, cx = center
+    return np.exp(-(((ys - cy) ** 2 + (xs - cx) ** 2) / (2.0 * radius ** 2)))
+
+
+def _bar(center: Tuple[float, float], size: int, horizontal: bool,
+         thickness: float = 1.5, length: float = 5.0) -> np.ndarray:
+    ys, xs = np.mgrid[0:size, 0:size]
+    cy, cx = center
+    if horizontal:
+        return np.exp(-((ys - cy) ** 2 / (2 * thickness ** 2) + (xs - cx) ** 2 / (2 * length ** 2)))
+    return np.exp(-((ys - cy) ** 2 / (2 * length ** 2) + (xs - cx) ** 2 / (2 * thickness ** 2)))
+
+
+def _ring(center: Tuple[float, float], size: int, radius: float,
+          width: float = 1.2) -> np.ndarray:
+    ys, xs = np.mgrid[0:size, 0:size]
+    cy, cx = center
+    dist = np.sqrt((ys - cy) ** 2 + (xs - cx) ** 2)
+    return np.exp(-((dist - radius) ** 2) / (2 * width ** 2))
+
+
+def _gesture_frame(gesture: int, phase: float, size: int) -> np.ndarray:
+    """Intensity frame of ``gesture`` at normalised time ``phase`` in [0, 1)."""
+
+    center = (size / 2.0, size / 2.0)
+    span = size / 2.0 - 3.0
+    angle = 2.0 * math.pi * phase
+    if gesture == 0:      # hand clap: two blobs meeting in the middle
+        offset = span * abs(math.cos(angle))
+        return (_blob((center[0], center[1] - offset), size)
+                + _blob((center[0], center[1] + offset), size))
+    if gesture == 1:      # right hand wave: horizontal oscillation, upper half
+        return _blob((size * 0.3, center[1] + span * math.sin(angle)), size)
+    if gesture == 2:      # left hand wave: horizontal oscillation, lower half
+        return _blob((size * 0.7, center[1] + span * math.sin(angle)), size)
+    if gesture == 3:      # right arm clockwise rotation
+        return _blob((center[0] + span * math.sin(angle), center[1] + span * math.cos(angle)), size)
+    if gesture == 4:      # right arm counter-clockwise rotation
+        return _blob((center[0] + span * math.sin(-angle), center[1] + span * math.cos(-angle)), size)
+    if gesture == 5:      # left arm clockwise: rotating bar
+        return _bar((center[0] + 0.5 * span * math.sin(angle),
+                     center[1] + 0.5 * span * math.cos(angle)), size, horizontal=True)
+    if gesture == 6:      # left arm counter-clockwise: rotating bar, other direction
+        return _bar((center[0] + 0.5 * span * math.sin(-angle),
+                     center[1] + 0.5 * span * math.cos(-angle)), size, horizontal=False)
+    if gesture == 7:      # arm roll: expanding ring
+        return _ring(center, size, radius=1.0 + (span - 1.0) * phase)
+    if gesture == 8:      # air drums: vertical oscillation
+        return _blob((center[0] + span * math.sin(2 * angle), center[1]), size)
+    if gesture == 9:      # air guitar: diagonal sweep
+        return _blob((center[0] + span * math.sin(angle), center[1] + span * math.sin(angle)), size)
+    if gesture == 10:     # other: contracting ring
+        return _ring(center, size, radius=1.0 + (span - 1.0) * (1.0 - phase))
+    raise ValueError(f"gesture class must be 0-{NUM_GESTURE_CLASSES - 1}, got {gesture}")
+
+
+def gesture_events(gesture: int, time_steps: int, size: int,
+                   rng: np.random.Generator, threshold: float = 0.12,
+                   jitter: float = 0.02, phase_offset: float = 0.0) -> np.ndarray:
+    """Event frames ``(time_steps, 2, size, size)`` for one gesture instance."""
+
+    if time_steps <= 1:
+        raise ValueError("gesture events need at least 2 time steps")
+    frames = np.zeros((time_steps, 2, size, size))
+    previous = _gesture_frame(gesture, phase_offset, size)
+    for t in range(time_steps):
+        phase = phase_offset + (t + 1) / time_steps
+        current = _gesture_frame(gesture, phase % 1.0, size)
+        current = np.clip(current + rng.normal(0.0, jitter, size=(size, size)), 0.0, 1.5)
+        diff = current - previous
+        frames[t, 0] = (diff > threshold).astype(np.float64)
+        frames[t, 1] = (diff < -threshold).astype(np.float64)
+        previous = current
+    return frames
+
+
+def generate_dvs_gesture(num_samples: int = 440, image_size: int = 16,
+                         time_steps: int = 6, seed=None,
+                         name: str = "synthetic-dvs-gesture") -> ArrayDataset:
+    """Generate a balanced synthetic DVS-Gesture-like dataset (11 classes)."""
+
+    if num_samples < NUM_GESTURE_CLASSES:
+        raise ValueError("need at least one sample per gesture class")
+    rng = get_rng(seed)
+    inputs = np.zeros((num_samples, time_steps, 2, image_size, image_size))
+    labels = np.zeros(num_samples, dtype=np.int64)
+    for index in range(num_samples):
+        gesture = index % NUM_GESTURE_CLASSES
+        labels[index] = gesture
+        phase_offset = float(rng.uniform(0.0, 1.0))
+        inputs[index] = gesture_events(gesture, time_steps, image_size, rng,
+                                       phase_offset=phase_offset)
+    order = rng.permutation(num_samples)
+    return ArrayDataset(inputs[order], labels[order],
+                        num_classes=NUM_GESTURE_CLASSES, name=name)
+
+
+def generate_dvs_gesture_splits(num_train: int = 330, num_test: int = 110,
+                                image_size: int = 16, time_steps: int = 6,
+                                seed=None, **kwargs) -> Tuple[ArrayDataset, ArrayDataset]:
+    """Generate disjoint train and test synthetic DVS-Gesture datasets."""
+
+    train = generate_dvs_gesture(num_train, image_size=image_size, time_steps=time_steps,
+                                 seed=derive_seed(seed, "dvs_train"), **kwargs)
+    test = generate_dvs_gesture(num_test, image_size=image_size, time_steps=time_steps,
+                                seed=derive_seed(seed, "dvs_test"), **kwargs)
+    return train, test

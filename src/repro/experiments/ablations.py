@@ -1,0 +1,148 @@
+"""Ablation studies on the design choices called out in DESIGN.md.
+
+These are not figures from the paper; they probe the knobs the reproduction
+had to choose and quantify how much each one matters:
+
+* surrogate gradient family (triangle per Eq. 2, ATan, sigmoid),
+* per-layer vs a single global learnable threshold in FalVolt,
+* hard vs soft membrane reset,
+* fixed-point accumulator width of the systolic array.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..core import FalVolt
+from ..datasets import DataLoader
+from ..faults import fault_map_from_rate, evaluate_with_faults
+from ..snn import Adam, Trainer, build_model_for_dataset, get_surrogate
+from ..systolic import FixedPointFormat
+from ..utils.rng import derive_seed
+from .baseline import build_loaders, prepare_baseline
+from .config import ExperimentConfig, default_config
+from .mitigation import _fault_map_for_rate, run_mitigation
+
+
+def ablate_surrogate_gradient(config: Optional[ExperimentConfig] = None,
+                              dataset: str = "mnist",
+                              surrogates: Sequence[str] = ("triangle", "atan", "sigmoid"),
+                              epochs: Optional[int] = None) -> List[dict]:
+    """Baseline-training accuracy for each surrogate gradient family."""
+
+    config = config or default_config(dataset)
+    epochs = epochs if epochs is not None else config.baseline_epochs
+    train_loader, test_loader = build_loaders(config)
+    records: List[dict] = []
+    for name in surrogates:
+        model, _ = build_model_for_dataset(
+            config.dataset, surrogate=get_surrogate(name),
+            channels=config.channels, hidden_units=config.hidden_units,
+            time_steps=config.time_steps, seed=config.seed)
+        trainer = Trainer(model, Adam(model.parameters(), lr=config.baseline_lr),
+                          num_classes=config.num_classes)
+        history = trainer.fit(train_loader, epochs=epochs, test_loader=test_loader)
+        records.append({
+            "dataset": config.dataset,
+            "surrogate": name,
+            "epochs": epochs,
+            "accuracy": history.test_accuracy[-1] if history.test_accuracy else 0.0,
+        })
+    return records
+
+
+def ablate_threshold_granularity(config: Optional[ExperimentConfig] = None,
+                                 dataset: str = "mnist",
+                                 fault_rate: float = 0.30,
+                                 retraining_epochs: Optional[int] = None) -> List[dict]:
+    """FalVolt with per-layer thresholds vs a single shared initial threshold.
+
+    The "global" variant still learns one threshold per layer structurally,
+    but every layer starts from the same value and the comparison measures
+    whether the per-layer freedom (the paper's choice) is what recovers
+    accuracy, versus simply lowering all thresholds together.
+    """
+
+    config = config or default_config(dataset)
+    baseline = prepare_baseline(config)
+    fault_map = _fault_map_for_rate(config, fault_rate)
+    epochs = retraining_epochs if retraining_epochs is not None else config.retrain_epochs
+    records: List[dict] = []
+    for granularity, initial in (("per-layer", None), ("shared-start-0.7", 0.7)):
+        mitigation = FalVolt(retraining_epochs=epochs, learning_rate=config.retrain_lr,
+                             initial_threshold=initial)
+        model = baseline.model_factory()
+        result = mitigation.run(model, fault_map, baseline.train_loader,
+                                baseline.test_loader, num_classes=baseline.num_classes,
+                                baseline_accuracy=baseline.baseline_accuracy)
+        records.append({
+            "dataset": config.dataset,
+            "granularity": granularity,
+            "fault_rate": fault_rate,
+            "accuracy": result.accuracy,
+            "thresholds": result.thresholds,
+        })
+    return records
+
+
+def ablate_reset_mode(config: Optional[ExperimentConfig] = None,
+                      dataset: str = "mnist",
+                      epochs: Optional[int] = None) -> List[dict]:
+    """Hard reset (to 0) vs soft reset (subtract threshold) baseline accuracy."""
+
+    from ..snn.neurons import BaseNode
+
+    config = config or default_config(dataset)
+    epochs = epochs if epochs is not None else config.baseline_epochs
+    train_loader, test_loader = build_loaders(config)
+    records: List[dict] = []
+    for mode, v_reset in (("hard", 0.0), ("soft", None)):
+        model, _ = build_model_for_dataset(
+            config.dataset, channels=config.channels, hidden_units=config.hidden_units,
+            time_steps=config.time_steps, seed=config.seed)
+        for node in model.spiking_layers():
+            node.v_reset = v_reset
+        trainer = Trainer(model, Adam(model.parameters(), lr=config.baseline_lr),
+                          num_classes=config.num_classes)
+        history = trainer.fit(train_loader, epochs=epochs, test_loader=test_loader)
+        records.append({
+            "dataset": config.dataset,
+            "reset_mode": mode,
+            "epochs": epochs,
+            "accuracy": history.test_accuracy[-1] if history.test_accuracy else 0.0,
+        })
+    return records
+
+
+def ablate_accumulator_width(config: Optional[ExperimentConfig] = None,
+                             dataset: str = "mnist",
+                             widths: Sequence[int] = (8, 12, 16, 24),
+                             num_faulty: int = 8,
+                             trials: int = 2) -> List[dict]:
+    """Unmitigated fault impact as a function of the accumulator word length.
+
+    Wider accumulators put the worst-case data bit at a larger magnitude, so
+    the same stuck-at-1 fault produces a larger corruption.
+    """
+
+    config = config or default_config(dataset)
+    baseline = prepare_baseline(config)
+    model = baseline.model_factory()
+    records: List[dict] = []
+    for width in widths:
+        fmt = FixedPointFormat(total_bits=width, frac_bits=min(8, width - 2))
+        fault_map = fault_map_from_rate(
+            config.array_rows, config.array_cols,
+            num_faulty / (config.array_rows * config.array_cols),
+            bit_position=fmt.magnitude_msb, stuck_type="sa1", fmt=fmt,
+            seed=derive_seed(config.seed, "width", width))
+        accuracy = evaluate_with_faults(model, baseline.test_loader,
+                                        fault_map=fault_map, fmt=fmt)
+        records.append({
+            "dataset": config.dataset,
+            "total_bits": width,
+            "num_faulty_pes": num_faulty,
+            "accuracy": accuracy,
+            "baseline_accuracy": baseline.baseline_accuracy,
+        })
+    return records

@@ -1,0 +1,101 @@
+"""Baseline model preparation and caching.
+
+Every figure of the paper starts from the same pre-trained ("baseline")
+PLIF-SNN per dataset.  :func:`prepare_baseline` trains that model once per
+:class:`~repro.experiments.config.ExperimentConfig` and caches the trained
+weights in-process, so running several experiments (or several benchmarks in
+one pytest session) does not repeat the training.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..datasets import DataLoader, load_dataset
+from ..snn import Adam, SpikingClassifier, Trainer, build_model_for_dataset
+from ..utils.logging import get_logger
+from ..utils.rng import derive_seed
+from .config import ExperimentConfig
+
+logger = get_logger("experiments.baseline")
+
+
+@dataclasses.dataclass
+class PreparedBaseline:
+    """A trained baseline model plus everything needed to rerun experiments on it.
+
+    ``model_factory()`` returns a *fresh* model loaded with the trained
+    baseline weights, so each mitigation run starts from identical state.
+    """
+
+    config: ExperimentConfig
+    state: Dict[str, np.ndarray]
+    baseline_accuracy: float
+    train_loader: DataLoader
+    test_loader: DataLoader
+    num_classes: int
+
+    def model_factory(self) -> SpikingClassifier:
+        model, _ = build_model_for_dataset(
+            self.config.dataset, channels=self.config.channels,
+            hidden_units=self.config.hidden_units, time_steps=self.config.time_steps,
+            seed=self.config.seed)
+        model.load_state_dict(self.state)
+        return model
+
+
+_CACHE: Dict[ExperimentConfig, PreparedBaseline] = {}
+
+
+def clear_baseline_cache() -> None:
+    """Drop all cached baselines (used by the test-suite)."""
+
+    _CACHE.clear()
+
+
+def build_loaders(config: ExperimentConfig):
+    """Create (train_loader, test_loader) for ``config``."""
+
+    train, test = load_dataset(
+        config.dataset, num_train=config.num_train, num_test=config.num_test,
+        image_size=config.image_size, seed=derive_seed(config.seed, "data"),
+        **config.dataset_options())
+    train_loader = DataLoader(train, batch_size=config.batch_size, shuffle=True,
+                              seed=derive_seed(config.seed, "loader"))
+    test_loader = DataLoader(test, batch_size=min(config.num_test, 4 * config.batch_size))
+    return train_loader, test_loader
+
+
+def prepare_baseline(config: ExperimentConfig, use_cache: bool = True,
+                     verbose: bool = False) -> PreparedBaseline:
+    """Train (or fetch from cache) the baseline model for ``config``."""
+
+    if use_cache and config in _CACHE:
+        return _CACHE[config]
+
+    train_loader, test_loader = build_loaders(config)
+    model, model_config = build_model_for_dataset(
+        config.dataset, channels=config.channels, hidden_units=config.hidden_units,
+        time_steps=config.time_steps, seed=config.seed)
+    trainer = Trainer(model, Adam(model.parameters(), lr=config.baseline_lr),
+                      num_classes=config.num_classes)
+    history = trainer.fit(train_loader, epochs=config.baseline_epochs,
+                          test_loader=test_loader, verbose=verbose)
+    baseline_accuracy = history.test_accuracy[-1] if history.test_accuracy else 0.0
+    logger.info("baseline %s accuracy %.3f after %d epochs",
+                config.dataset, baseline_accuracy, config.baseline_epochs)
+
+    prepared = PreparedBaseline(
+        config=config,
+        state=model.state_dict(),
+        baseline_accuracy=baseline_accuracy,
+        train_loader=train_loader,
+        test_loader=test_loader,
+        num_classes=config.num_classes,
+    )
+    if use_cache:
+        _CACHE[config] = prepared
+    return prepared

@@ -1,0 +1,106 @@
+"""Fault-mitigation experiments (paper Fig. 6 and Fig. 7).
+
+``run_fig7_mitigation_comparison`` applies FaP, FaPIT and FalVolt to the
+same fault maps at the paper's fault rates (10 %, 30 %, 60 %) and records
+the recovered accuracy.  ``run_fig6_optimized_thresholds`` extracts the
+per-layer threshold voltages that FalVolt converged to, which is exactly
+what the paper's Fig. 6 reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..core import MITIGATIONS, get_mitigation
+from ..faults import fault_map_from_rate
+from ..systolic import DEFAULT_ACCUMULATOR_FORMAT
+from ..utils.rng import derive_seed
+from .baseline import PreparedBaseline, prepare_baseline
+from .config import ExperimentConfig, PAPER_FAULT_RATES, default_config
+
+
+def _fault_map_for_rate(config: ExperimentConfig, rate: float):
+    """Worst-case (high-order-bit stuck-at-1) fault map covering ``rate`` of the PEs."""
+
+    return fault_map_from_rate(
+        config.array_rows, config.array_cols, rate,
+        bit_position=DEFAULT_ACCUMULATOR_FORMAT.magnitude_msb, stuck_type="sa1",
+        seed=derive_seed(config.seed, "mitigation_map", int(rate * 1000)))
+
+
+def _mitigation_kwargs(method: str, config: ExperimentConfig,
+                       retraining_epochs: Optional[int]) -> dict:
+    epochs = config.retrain_epochs if retraining_epochs is None else retraining_epochs
+    if method == "fap":
+        return {}
+    return {"retraining_epochs": epochs, "learning_rate": config.retrain_lr}
+
+
+def run_mitigation(method: str, baseline: PreparedBaseline, fault_map,
+                   retraining_epochs: Optional[int] = None):
+    """Run one mitigation method on a fresh copy of the baseline model."""
+
+    config = baseline.config
+    mitigation = get_mitigation(method, **_mitigation_kwargs(method, config, retraining_epochs))
+    model = baseline.model_factory()
+    return mitigation.run(model, fault_map, baseline.train_loader, baseline.test_loader,
+                          num_classes=baseline.num_classes,
+                          baseline_accuracy=baseline.baseline_accuracy)
+
+
+def run_fig7_mitigation_comparison(config: Optional[ExperimentConfig] = None,
+                                   dataset: str = "mnist",
+                                   fault_rates: Sequence[float] = PAPER_FAULT_RATES,
+                                   methods: Sequence[str] = ("fap", "fapit", "falvolt"),
+                                   retraining_epochs: Optional[int] = None) -> List[dict]:
+    """Accuracy of each mitigation method at each fault rate (Fig. 7)."""
+
+    config = config or default_config(dataset)
+    for method in methods:
+        if method not in MITIGATIONS:
+            raise KeyError(f"unknown mitigation '{method}'")
+    baseline = prepare_baseline(config)
+    records: List[dict] = []
+    for rate in fault_rates:
+        fault_map = _fault_map_for_rate(config, rate)
+        for method in methods:
+            result = run_mitigation(method, baseline, fault_map,
+                                    retraining_epochs=retraining_epochs)
+            records.append({
+                "dataset": config.dataset,
+                "fault_rate": float(rate),
+                "method": result.method,
+                "accuracy": result.accuracy,
+                "baseline_accuracy": result.baseline_accuracy,
+                "accuracy_drop": result.accuracy_drop,
+                "pruned_fraction": result.pruned_fraction,
+                "retraining_epochs": result.retraining_epochs,
+            })
+    return records
+
+
+def run_fig6_optimized_thresholds(config: Optional[ExperimentConfig] = None,
+                                  dataset: str = "mnist",
+                                  fault_rates: Sequence[float] = PAPER_FAULT_RATES,
+                                  retraining_epochs: Optional[int] = None) -> List[dict]:
+    """Per-layer threshold voltages returned by FalVolt (Fig. 6).
+
+    One record per (fault rate, layer) with the optimized threshold voltage.
+    """
+
+    config = config or default_config(dataset)
+    baseline = prepare_baseline(config)
+    records: List[dict] = []
+    for rate in fault_rates:
+        fault_map = _fault_map_for_rate(config, rate)
+        result = run_mitigation("falvolt", baseline, fault_map,
+                                retraining_epochs=retraining_epochs)
+        for layer, threshold in result.thresholds.items():
+            records.append({
+                "dataset": config.dataset,
+                "fault_rate": float(rate),
+                "layer": layer,
+                "threshold_voltage": float(threshold),
+                "accuracy": result.accuracy,
+            })
+    return records

@@ -1,0 +1,59 @@
+"""Permanent-fault injection framework for systolicSNNs.
+
+Stuck-at fault models, per-chip fault maps, injectors that attach a faulty
+systolic array to a trained SNN, and the vulnerability sweep drivers that
+regenerate the paper's Fig. 5.
+"""
+
+from .fault_model import StuckAtFault, StuckAtType, lsb_fault, msb_fault
+from .fault_map import (
+    FaultMap,
+    fault_map_from_rate,
+    fault_maps_for_trials,
+    random_fault_map,
+    single_bit_fault_map,
+)
+from .injection import FaultInjector, build_faulty_array, evaluate_with_faults
+from .analysis import (
+    baseline_accuracy,
+    sweep_array_sizes,
+    sweep_bit_locations,
+    sweep_faulty_pe_count,
+)
+from .detection import (
+    Diagnosis,
+    TestVector,
+    detect_fault_map,
+    detection_coverage,
+    generate_test_vectors,
+    locate_faulty_columns,
+    locate_faulty_rows_in_column,
+    run_detection,
+)
+
+__all__ = [
+    "StuckAtFault",
+    "StuckAtType",
+    "lsb_fault",
+    "msb_fault",
+    "FaultMap",
+    "fault_map_from_rate",
+    "fault_maps_for_trials",
+    "random_fault_map",
+    "single_bit_fault_map",
+    "FaultInjector",
+    "build_faulty_array",
+    "evaluate_with_faults",
+    "baseline_accuracy",
+    "sweep_array_sizes",
+    "sweep_bit_locations",
+    "sweep_faulty_pe_count",
+    "Diagnosis",
+    "TestVector",
+    "detect_fault_map",
+    "detection_coverage",
+    "generate_test_vectors",
+    "locate_faulty_columns",
+    "locate_faulty_rows_in_column",
+    "run_detection",
+]

@@ -1,0 +1,169 @@
+"""Fault-vulnerability sweep drivers (paper, Section V-C).
+
+Three sweeps are provided, one per panel of the paper's Fig. 5:
+
+* :func:`sweep_bit_locations` -- vary the stuck-at bit position and polarity
+  (Fig. 5a).
+* :func:`sweep_faulty_pe_count` -- vary the number of faulty PEs on a fixed
+  array (Fig. 5b), averaging several distinct fault maps per point.
+* :func:`sweep_array_sizes` -- vary the array size at a fixed number of
+  faulty PEs (Fig. 5c).
+
+Each sweep returns a list of plain-dict records so the experiment harness
+and the benchmarks can print them as tables or series without further
+processing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..systolic.fixed_point import DEFAULT_ACCUMULATOR_FORMAT, FixedPointFormat
+from ..utils.rng import derive_seed
+from .fault_map import fault_maps_for_trials, single_bit_fault_map
+from .fault_model import StuckAtType
+from .injection import evaluate_with_faults
+
+
+def baseline_accuracy(model, loader) -> float:
+    """Fault-free accuracy of the model (uses the software forward path)."""
+
+    from ..autograd import Tensor, no_grad
+
+    was_training = model.training
+    model.eval()
+    correct = 0
+    total = 0
+    try:
+        with no_grad():
+            for inputs, labels in loader:
+                rates = model(Tensor(inputs))
+                correct += int(np.sum(np.argmax(rates.data, axis=1) == labels))
+                total += labels.shape[0]
+    finally:
+        model.train(was_training)
+    return correct / total if total else 0.0
+
+
+def sweep_bit_locations(model, loader, *,
+                        rows: int, cols: int,
+                        bit_positions: Sequence[int],
+                        stuck_types: Sequence[Union[StuckAtType, int, str]] = ("sa0", "sa1"),
+                        num_faulty: int = 8,
+                        trials: int = 2,
+                        fmt: FixedPointFormat = DEFAULT_ACCUMULATOR_FORMAT,
+                        dataset: str = "",
+                        seed: int = 0) -> List[dict]:
+    """Accuracy versus fault bit location and polarity (Fig. 5a).
+
+    For each (bit position, stuck-at polarity) pair, ``trials`` random fault
+    maps with ``num_faulty`` faulty PEs are generated and the mean accuracy
+    under unmitigated fault injection is recorded.
+    """
+
+    records: List[dict] = []
+    for stuck in stuck_types:
+        stuck = StuckAtType.from_value(stuck)
+        for bit in bit_positions:
+            accuracies = []
+            for trial in range(trials):
+                trial_seed = derive_seed(seed, "bit_sweep", stuck.value, bit, trial)
+                fault_map = single_bit_fault_map(rows, cols, num_faulty, bit_position=bit,
+                                                 stuck_type=stuck, seed=trial_seed)
+                accuracies.append(evaluate_with_faults(model, loader, fault_map=fault_map,
+                                                       fmt=fmt))
+            records.append({
+                "dataset": dataset,
+                "stuck_type": stuck.short_name,
+                "bit_position": int(bit),
+                "num_faulty_pes": int(num_faulty),
+                "trials": int(trials),
+                "accuracy": float(np.mean(accuracies)),
+                "accuracy_std": float(np.std(accuracies)),
+            })
+    return records
+
+
+def sweep_faulty_pe_count(model, loader, *,
+                          rows: int, cols: int,
+                          counts: Sequence[int],
+                          trials: int = 8,
+                          bit_position: Optional[int] = None,
+                          stuck_type: Union[StuckAtType, int, str] = "sa1",
+                          fmt: FixedPointFormat = DEFAULT_ACCUMULATOR_FORMAT,
+                          dataset: str = "",
+                          seed: int = 0) -> List[dict]:
+    """Accuracy versus number of faulty PEs (Fig. 5b).
+
+    Faults are injected in the higher-order accumulator bits (worst case), and
+    each count is averaged over ``trials`` distinct fault maps, following the
+    paper's methodology (8 iterations per experiment).
+    """
+
+    clean = baseline_accuracy(model, loader)
+    if bit_position is None:
+        bit_position = fmt.magnitude_msb
+    records: List[dict] = []
+    for count in counts:
+        if count == 0:
+            records.append({
+                "dataset": dataset,
+                "num_faulty_pes": 0,
+                "fault_rate": 0.0,
+                "trials": int(trials),
+                "accuracy": float(clean),
+                "accuracy_std": 0.0,
+            })
+            continue
+        maps = fault_maps_for_trials(rows, cols, count, trials,
+                                     bit_position=bit_position, stuck_type=stuck_type,
+                                     fmt=fmt, seed=derive_seed(seed, "pe_count", count))
+        accuracies = [evaluate_with_faults(model, loader, fault_map=m, fmt=fmt) for m in maps]
+        records.append({
+            "dataset": dataset,
+            "num_faulty_pes": int(count),
+            "fault_rate": count / (rows * cols),
+            "trials": int(trials),
+            "accuracy": float(np.mean(accuracies)),
+            "accuracy_std": float(np.std(accuracies)),
+        })
+    return records
+
+
+def sweep_array_sizes(model, loader, *,
+                      sizes: Sequence[int],
+                      num_faulty: int = 4,
+                      trials: int = 4,
+                      bit_position: Optional[int] = None,
+                      stuck_type: Union[StuckAtType, int, str] = "sa1",
+                      fmt: FixedPointFormat = DEFAULT_ACCUMULATOR_FORMAT,
+                      dataset: str = "",
+                      seed: int = 0) -> List[dict]:
+    """Accuracy versus systolic array size at a fixed number of faulty PEs (Fig. 5c).
+
+    Smaller arrays are reused more heavily (more weights per PE), so the same
+    number of faults corrupts a larger fraction of the computation.
+    """
+
+    if bit_position is None:
+        bit_position = fmt.magnitude_msb
+    records: List[dict] = []
+    for size in sizes:
+        if num_faulty > size * size:
+            raise ValueError(f"cannot place {num_faulty} faults in a {size}x{size} array")
+        maps = fault_maps_for_trials(size, size, num_faulty, trials,
+                                     bit_position=bit_position, stuck_type=stuck_type,
+                                     fmt=fmt, seed=derive_seed(seed, "array_size", size))
+        accuracies = [evaluate_with_faults(model, loader, fault_map=m, fmt=fmt) for m in maps]
+        records.append({
+            "dataset": dataset,
+            "array_size": int(size),
+            "total_pes": int(size * size),
+            "num_faulty_pes": int(num_faulty),
+            "trials": int(trials),
+            "accuracy": float(np.mean(accuracies)),
+            "accuracy_std": float(np.std(accuracies)),
+        })
+    return records

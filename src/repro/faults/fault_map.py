@@ -1,0 +1,174 @@
+"""Fault maps: which PEs of the array are faulty and with what fault.
+
+A :class:`FaultMap` is the software counterpart of the per-chip fault map a
+manufacturer obtains from post-fabrication testing (paper, Section IV).  It
+maps PE grid coordinates to :class:`~repro.faults.fault_model.StuckAtFault`
+instances and provides the random generators used by the vulnerability and
+mitigation experiments (fault maps by PE count, by fault rate, by bit
+position).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..systolic.fixed_point import FixedPointFormat, DEFAULT_ACCUMULATOR_FORMAT
+from ..utils.rng import get_rng
+from .fault_model import StuckAtFault, StuckAtType
+
+Coordinate = Tuple[int, int]
+
+
+@dataclasses.dataclass
+class FaultMap:
+    """Mapping of faulty PE coordinates to stuck-at faults for one fabricated chip."""
+
+    rows: int
+    cols: int
+    faults: Dict[Coordinate, StuckAtFault] = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ValueError("array dimensions must be positive")
+        for coord in self.faults:
+            self._validate(coord)
+
+    # ------------------------------------------------------------------
+    # Dict-like interface
+    # ------------------------------------------------------------------
+    def _validate(self, coord: Coordinate) -> None:
+        row, col = coord
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise ValueError(f"coordinate {coord} outside {self.rows}x{self.cols} array")
+
+    def add(self, row: int, col: int, fault: StuckAtFault) -> None:
+        self._validate((row, col))
+        self.faults[(row, col)] = fault
+
+    def items(self) -> Iterator[Tuple[Coordinate, StuckAtFault]]:
+        return iter(self.faults.items())
+
+    def coordinates(self) -> List[Coordinate]:
+        return list(self.faults.keys())
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __contains__(self, coord: Coordinate) -> bool:
+        return tuple(coord) in self.faults
+
+    def __iter__(self) -> Iterator[Coordinate]:
+        return iter(self.faults)
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def num_pes(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def fault_rate(self) -> float:
+        """Fraction of PEs that are faulty, in [0, 1]."""
+
+        return len(self.faults) / self.num_pes
+
+    def describe(self) -> str:
+        return (f"FaultMap({self.rows}x{self.cols}, {len(self.faults)} faulty PEs, "
+                f"rate={100.0 * self.fault_rate:.3f}%)")
+
+    def merge(self, other: "FaultMap") -> "FaultMap":
+        """Union of two fault maps over the same array (later map wins on collisions)."""
+
+        if (self.rows, self.cols) != (other.rows, other.cols):
+            raise ValueError("cannot merge fault maps of different array sizes")
+        merged = dict(self.faults)
+        merged.update(other.faults)
+        return FaultMap(self.rows, self.cols, merged)
+
+
+# ----------------------------------------------------------------------
+# Generators
+# ----------------------------------------------------------------------
+def _sample_coordinates(rows: int, cols: int, count: int, rng) -> List[Coordinate]:
+    if count > rows * cols:
+        raise ValueError(f"cannot place {count} faults in a {rows}x{cols} array")
+    flat = rng.choice(rows * cols, size=count, replace=False)
+    return [(int(index // cols), int(index % cols)) for index in flat]
+
+
+def random_fault_map(rows: int, cols: int, num_faulty: int,
+                     bit_position: Optional[int] = None,
+                     stuck_type: Union[StuckAtType, int, str] = 1,
+                     fmt: FixedPointFormat = DEFAULT_ACCUMULATOR_FORMAT,
+                     high_order_bits: int = 4,
+                     seed=None) -> FaultMap:
+    """Random fault map with ``num_faulty`` faulty PEs.
+
+    When ``bit_position`` is ``None`` the afflicted bit is drawn uniformly
+    from the ``high_order_bits`` most significant *data* bits below the sign
+    bit (the paper's worst-case analysis injects faults in the higher-order
+    bits of the accumulator output).
+    """
+
+    if num_faulty < 0:
+        raise ValueError("num_faulty must be non-negative")
+    rng = get_rng(seed)
+    stuck = StuckAtType.from_value(stuck_type)
+    fault_map = FaultMap(rows, cols)
+    for row, col in _sample_coordinates(rows, cols, num_faulty, rng):
+        if bit_position is None:
+            bit = int(rng.integers(fmt.magnitude_msb - high_order_bits + 1,
+                                   fmt.magnitude_msb + 1))
+        else:
+            bit = bit_position
+        fault_map.add(row, col, StuckAtFault(bit_position=bit, stuck_type=stuck))
+    return fault_map
+
+
+def fault_map_from_rate(rows: int, cols: int, fault_rate: float,
+                        bit_position: Optional[int] = None,
+                        stuck_type: Union[StuckAtType, int, str] = 1,
+                        fmt: FixedPointFormat = DEFAULT_ACCUMULATOR_FORMAT,
+                        seed=None) -> FaultMap:
+    """Random fault map covering ``fault_rate`` (fraction in [0, 1]) of the PEs.
+
+    Used by the mitigation experiments, which quote fault rates of 10 %,
+    30 % and 60 % of the 256x256 array.
+    """
+
+    if not 0.0 <= fault_rate <= 1.0:
+        raise ValueError("fault_rate must be in [0, 1]")
+    num_faulty = int(round(fault_rate * rows * cols))
+    return random_fault_map(rows, cols, num_faulty, bit_position=bit_position,
+                            stuck_type=stuck_type, fmt=fmt, seed=seed)
+
+
+def single_bit_fault_map(rows: int, cols: int, num_faulty: int, bit_position: int,
+                         stuck_type: Union[StuckAtType, int, str],
+                         seed=None) -> FaultMap:
+    """Fault map where every faulty PE has the same bit/polarity (Fig. 5a sweeps)."""
+
+    return random_fault_map(rows, cols, num_faulty, bit_position=bit_position,
+                            stuck_type=stuck_type, seed=seed)
+
+
+def fault_maps_for_trials(rows: int, cols: int, num_faulty: int, trials: int,
+                          bit_position: Optional[int] = None,
+                          stuck_type: Union[StuckAtType, int, str] = 1,
+                          fmt: FixedPointFormat = DEFAULT_ACCUMULATOR_FORMAT,
+                          seed=None) -> List[FaultMap]:
+    """Distinct fault maps for repeated trials (8 iterations per point in Fig. 5b)."""
+
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    base = get_rng(seed)
+    seeds = base.integers(0, 2**63 - 1, size=trials)
+    return [
+        random_fault_map(rows, cols, num_faulty, bit_position=bit_position,
+                         stuck_type=stuck_type, fmt=fmt, seed=int(s))
+        for s in seeds
+    ]

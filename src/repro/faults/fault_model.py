@@ -1,0 +1,113 @@
+"""Permanent-fault models for the systolicSNN accelerator.
+
+The paper studies *stuck-at faults* in the accumulator output of PEs: a
+manufacturing defect forces one output bit permanently to 0 (stuck-at-0) or
+1 (stuck-at-1).  The fault is applied to the two's-complement fixed-point
+code of the accumulator value in every execution cycle.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Union
+
+import numpy as np
+
+from ..systolic.fixed_point import FixedPointFormat
+
+
+class StuckAtType(enum.Enum):
+    """Polarity of a stuck-at fault."""
+
+    STUCK_AT_0 = 0
+    STUCK_AT_1 = 1
+
+    @classmethod
+    def from_value(cls, value: Union["StuckAtType", int, str]) -> "StuckAtType":
+        """Coerce 0/1, "sa0"/"sa1" or an existing enum member into a :class:`StuckAtType`."""
+
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            key = value.strip().lower()
+            if key in ("sa0", "stuck_at_0", "0"):
+                return cls.STUCK_AT_0
+            if key in ("sa1", "stuck_at_1", "1"):
+                return cls.STUCK_AT_1
+            raise ValueError(f"unknown stuck-at type '{value}'")
+        if value in (0, 1):
+            return cls(value)
+        raise ValueError(f"unknown stuck-at type {value!r}")
+
+    @property
+    def short_name(self) -> str:
+        return "sa0" if self is StuckAtType.STUCK_AT_0 else "sa1"
+
+
+@dataclasses.dataclass(frozen=True)
+class StuckAtFault:
+    """A stuck-at fault on one bit of a PE accumulator output.
+
+    Parameters
+    ----------
+    bit_position:
+        Index of the afflicted bit, 0 = least significant bit.  The most
+        significant (sign) bit of a ``b``-bit format is ``b - 1``.
+    stuck_type:
+        :class:`StuckAtType` polarity (or anything accepted by
+        :meth:`StuckAtType.from_value`).
+    """
+
+    bit_position: int
+    stuck_type: StuckAtType = StuckAtType.STUCK_AT_1
+
+    def __post_init__(self) -> None:
+        if self.bit_position < 0:
+            raise ValueError("bit_position must be non-negative")
+        object.__setattr__(self, "stuck_type", StuckAtType.from_value(self.stuck_type))
+
+    @property
+    def stuck_value(self) -> int:
+        return self.stuck_type.value
+
+    def apply(self, values: np.ndarray, fmt: FixedPointFormat) -> np.ndarray:
+        """Apply this fault to real-valued accumulator contents.
+
+        The values are quantised to ``fmt``, the afflicted bit is forced, and
+        the corrupted codes are converted back to real values.
+        """
+
+        if self.bit_position >= fmt.total_bits:
+            raise ValueError(
+                f"bit {self.bit_position} outside the {fmt.total_bits}-bit accumulator")
+        return fmt.apply_stuck_at(np.asarray(values, dtype=np.float64),
+                                  self.bit_position, self.stuck_value)
+
+    def describe(self) -> str:
+        """Short human-readable description, e.g. ``"sa1@bit14"``."""
+
+        return f"{self.stuck_type.short_name}@bit{self.bit_position}"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()
+
+
+def msb_fault(fmt: FixedPointFormat, stuck_type: Union[StuckAtType, int, str] = 1
+              ) -> StuckAtFault:
+    """Worst-case fault used throughout the paper's Fig. 5b/5c: stuck-at in the MSB.
+
+    "MSB" follows the paper's usage: the most significant *data* bit of the
+    accumulator output (the paper sweeps bits 0-16 of a 32-bit accumulator,
+    below the sign bit).  A stuck-at-1 here is the most perturbing fault.
+    """
+
+    return StuckAtFault(bit_position=fmt.magnitude_msb,
+                        stuck_type=StuckAtType.from_value(stuck_type))
+
+
+def lsb_fault(fmt: FixedPointFormat, stuck_type: Union[StuckAtType, int, str] = 1
+              ) -> StuckAtFault:
+    """Benign-end fault: stuck-at in the least significant bit."""
+
+    return StuckAtFault(bit_position=0, stuck_type=StuckAtType.from_value(stuck_type))

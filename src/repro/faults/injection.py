@@ -1,0 +1,131 @@
+"""Attaching faulty systolic arrays to trained SNNs for inference.
+
+The :class:`FaultInjector` temporarily re-routes every convolutional and
+fully connected layer of a :class:`~repro.snn.network.SpikingClassifier`
+through a (possibly faulty) :class:`~repro.systolic.array.SystolicArray`, so
+that the accuracy measured afterwards reflects the accelerator's stuck-at
+faults -- the tool-flow of the paper's Fig. 4 ("fault injection" followed by
+"fault mapping to systolic array").
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..autograd import Tensor, no_grad
+from ..snn.layers import Conv2d, Linear
+from ..snn.network import SpikingClassifier
+from ..systolic.array import SystolicArray
+from ..systolic.fixed_point import DEFAULT_ACCUMULATOR_FORMAT, FixedPointFormat
+from .fault_map import FaultMap
+
+
+class FaultInjector(contextlib.AbstractContextManager):
+    """Context manager that runs a model's affine layers on a systolic array.
+
+    Parameters
+    ----------
+    model:
+        Trained spiking classifier.
+    array:
+        Systolic array carrying the fault map (and, optionally, bypass state).
+    layer_filter:
+        Optional predicate selecting which affine layers to re-route; by
+        default every :class:`Conv2d` and :class:`Linear` layer is mapped to
+        the array, matching the paper's accelerator which executes all
+        convolutional and fully connected layers on the same PE grid.
+    """
+
+    def __init__(self, model: SpikingClassifier, array: SystolicArray,
+                 layer_filter=None) -> None:
+        self.model = model
+        self.array = array
+        self.layer_filter = layer_filter or (lambda layer: True)
+        self._original_forwards: List[Tuple[object, callable]] = []
+
+    # ------------------------------------------------------------------
+    def _target_layers(self) -> List[object]:
+        layers = [m for m in self.model.modules() if isinstance(m, (Conv2d, Linear))]
+        return [layer for layer in layers if self.layer_filter(layer)]
+
+    def _make_faulty_forward(self, layer):
+        array = self.array
+
+        if isinstance(layer, Conv2d):
+            def forward(x: Tensor) -> Tensor:
+                bias = layer.bias.data if layer.bias is not None else None
+                result = array.conv2d(layer.weight.data, x.data, bias=bias,
+                                      stride=layer.stride, padding=layer.padding)
+                return Tensor(result)
+        else:
+            def forward(x: Tensor) -> Tensor:
+                bias = layer.bias.data if layer.bias is not None else None
+                result = array.matmul(layer.weight.data, x.data, bias=bias)
+                return Tensor(result)
+        return forward
+
+    def __enter__(self) -> "FaultInjector":
+        for layer in self._target_layers():
+            self._original_forwards.append((layer, layer.forward))
+            # Shadow the class-level forward with an instance attribute; the
+            # class method reappears untouched once the shadow is removed.
+            object.__setattr__(layer, "forward", self._make_faulty_forward(layer))
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        for layer, _original in self._original_forwards:
+            if "forward" in layer.__dict__:
+                object.__delattr__(layer, "forward")
+        self._original_forwards = []
+
+
+def build_faulty_array(fault_map: FaultMap,
+                       fmt: FixedPointFormat = DEFAULT_ACCUMULATOR_FORMAT,
+                       bypass: bool = False) -> SystolicArray:
+    """Construct a :class:`SystolicArray` loaded with ``fault_map``.
+
+    ``bypass=True`` enables the bypass multiplexer of every faulty PE (the
+    mitigated hardware of Fig. 3b); ``bypass=False`` models the unmitigated
+    chip used in the vulnerability analysis.
+    """
+
+    array = SystolicArray(fault_map.rows, fault_map.cols, fmt=fmt)
+    array.load_fault_map(fault_map)
+    if bypass:
+        array.bypass_faulty_pes()
+    return array
+
+
+def evaluate_with_faults(model: SpikingClassifier, loader,
+                         fault_map: Optional[FaultMap] = None,
+                         array: Optional[SystolicArray] = None,
+                         bypass: bool = False,
+                         fmt: FixedPointFormat = DEFAULT_ACCUMULATOR_FORMAT) -> float:
+    """Classification accuracy of ``model`` on ``loader`` under fault injection.
+
+    Either a prepared ``array`` or a ``fault_map`` must be supplied.  Returns
+    accuracy in [0, 1].
+    """
+
+    if array is None:
+        if fault_map is None:
+            raise ValueError("either fault_map or array must be provided")
+        array = build_faulty_array(fault_map, fmt=fmt, bypass=bypass)
+
+    was_training = model.training
+    model.eval()
+    correct = 0
+    total = 0
+    try:
+        with FaultInjector(model, array), no_grad():
+            for inputs, labels in loader:
+                rates = model(Tensor(inputs))
+                predictions = np.argmax(rates.data, axis=1)
+                correct += int(np.sum(predictions == labels))
+                total += labels.shape[0]
+    finally:
+        model.train(was_training)
+    return correct / total if total else 0.0

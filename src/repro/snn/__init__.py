@@ -1,0 +1,84 @@
+"""Spiking neural network framework (PLIF/LIF neurons, surrogate-gradient BPTT).
+
+This package is the software substrate the FalVolt paper trains on (PyTorch +
+SpikingJelly in the original); here it is built from scratch on the
+:mod:`repro.autograd` engine.
+"""
+
+from .module import Module, Parameter
+from .surrogate import ATan, SigmoidSurrogate, SurrogateGradient, Triangle, get_surrogate
+from .neurons import BaseNode, IFNode, LIFNode, PLIFNode, MIN_THRESHOLD, spiking_nodes
+from .layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    Sequential,
+)
+from .network import SpikingClassifier
+from .encoding import ConstantCurrentEncoder, LatencyEncoder, PoissonEncoder, rate_from_spikes
+from .loss import accuracy, cross_entropy_loss, get_loss, rate_mse_loss
+from .optim import Adam, Optimizer, SGD
+from .training import Trainer, TrainingHistory
+from .monitor import LayerActivity, SpikeMonitor, activity_drop, measure_firing_rates
+from .models import (
+    DATASET_CONFIGS,
+    ModelConfig,
+    build_model_for_dataset,
+    build_plif_snn,
+    dvs_gesture_config,
+    mnist_config,
+    nmnist_config,
+)
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "ATan",
+    "SigmoidSurrogate",
+    "SurrogateGradient",
+    "Triangle",
+    "get_surrogate",
+    "BaseNode",
+    "IFNode",
+    "LIFNode",
+    "PLIFNode",
+    "MIN_THRESHOLD",
+    "spiking_nodes",
+    "AvgPool2d",
+    "BatchNorm2d",
+    "Conv2d",
+    "Dropout",
+    "Flatten",
+    "Linear",
+    "MaxPool2d",
+    "Sequential",
+    "SpikingClassifier",
+    "ConstantCurrentEncoder",
+    "LatencyEncoder",
+    "PoissonEncoder",
+    "rate_from_spikes",
+    "accuracy",
+    "cross_entropy_loss",
+    "get_loss",
+    "rate_mse_loss",
+    "Adam",
+    "Optimizer",
+    "SGD",
+    "Trainer",
+    "TrainingHistory",
+    "LayerActivity",
+    "SpikeMonitor",
+    "activity_drop",
+    "measure_firing_rates",
+    "DATASET_CONFIGS",
+    "ModelConfig",
+    "build_model_for_dataset",
+    "build_plif_snn",
+    "dvs_gesture_config",
+    "mnist_config",
+    "nmnist_config",
+]

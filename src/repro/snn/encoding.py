@@ -1,0 +1,72 @@
+"""Spike encoders converting dense inputs into spike trains.
+
+The paper's networks use *direct* encoding: the static image (or event frame)
+is fed to a first convolutional layer followed by spiking neurons, which
+learns the spike encoding (Lee et al., Frontiers 2020).  A Poisson (rate)
+encoder and a latency encoder are provided for completeness and for the
+ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.rng import get_rng
+
+
+class ConstantCurrentEncoder:
+    """Repeat a static input at every time step (direct coding).
+
+    Output shape: ``(time_steps, batch, C, H, W)``.
+    """
+
+    def __init__(self, time_steps: int) -> None:
+        if time_steps <= 0:
+            raise ValueError("time_steps must be positive")
+        self.time_steps = time_steps
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        images = np.asarray(images, dtype=np.float64)
+        return np.broadcast_to(images, (self.time_steps, *images.shape)).copy()
+
+
+class PoissonEncoder:
+    """Bernoulli rate coding: pixel intensity is the per-step firing probability."""
+
+    def __init__(self, time_steps: int, rng=None) -> None:
+        if time_steps <= 0:
+            raise ValueError("time_steps must be positive")
+        self.time_steps = time_steps
+        self._rng = get_rng(rng)
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        images = np.clip(np.asarray(images, dtype=np.float64), 0.0, 1.0)
+        draws = self._rng.random((self.time_steps, *images.shape))
+        return (draws < images).astype(np.float64)
+
+
+class LatencyEncoder:
+    """Time-to-first-spike coding: brighter pixels spike earlier, exactly once."""
+
+    def __init__(self, time_steps: int) -> None:
+        if time_steps <= 1:
+            raise ValueError("latency coding needs at least 2 time steps")
+        self.time_steps = time_steps
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        images = np.clip(np.asarray(images, dtype=np.float64), 0.0, 1.0)
+        # Map intensity 1.0 -> step 0, intensity ~0 -> last step.
+        spike_time = np.round((1.0 - images) * (self.time_steps - 1)).astype(np.int64)
+        out = np.zeros((self.time_steps, *images.shape), dtype=np.float64)
+        for t in range(self.time_steps):
+            out[t] = (spike_time == t) & (images > 0)
+        return out
+
+
+def rate_from_spikes(spikes: np.ndarray) -> np.ndarray:
+    """Average a spike train of shape ``(T, ...)`` over time."""
+
+    spikes = np.asarray(spikes, dtype=np.float64)
+    if spikes.ndim < 1:
+        raise ValueError("spike train must have a leading time dimension")
+    return spikes.mean(axis=0)

@@ -1,0 +1,161 @@
+"""Module / Parameter abstractions for the SNN framework.
+
+A :class:`Module` owns named parameters (learnable tensors), named buffers
+(non-learnable numpy arrays such as batch-norm running statistics) and child
+modules, mirroring the familiar torch.nn API at a much smaller scale.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..autograd import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor that is registered as a learnable parameter of a module."""
+
+    def __init__(self, data, name: Optional[str] = None) -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all network components.
+
+    Subclasses implement :meth:`forward`; calling the module invokes it.
+    Attribute assignment automatically registers :class:`Parameter` and
+    :class:`Module` instances so that :meth:`parameters`, :meth:`state_dict`
+    and :meth:`reset_state` traverse the whole tree.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "_buffers", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register a non-learnable array that belongs to the module state."""
+
+        array = np.asarray(value, dtype=np.float64)
+        self._buffers[name] = array
+        object.__setattr__(self, name, array)
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and all descendants (depth-first)."""
+
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for child_name, child in self._modules.items():
+            yield from child.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def parameters(self) -> List[Parameter]:
+        return [param for _, param in self.named_parameters()]
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        for name, buffer in self._buffers.items():
+            yield (f"{prefix}{name}", buffer)
+        for child_name, child in self._modules.items():
+            yield from child.named_buffers(prefix=f"{prefix}{child_name}.")
+
+    # ------------------------------------------------------------------
+    # Modes and state
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        for module in self.modules():
+            object.__setattr__(module, "training", mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def reset_state(self) -> None:
+        """Reset any temporal state (membrane potentials) in the subtree."""
+
+        for module in self.modules():
+            if module is not self and hasattr(module, "reset_state"):
+                # Only call overridden implementations to avoid infinite recursion.
+                if type(module).reset_state is not Module.reset_state:
+                    module.reset_state()
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Return a flat mapping of parameter/buffer name to a copied array."""
+
+        state: Dict[str, np.ndarray] = {}
+        for name, param in self.named_parameters():
+            state[name] = param.data.copy()
+        for name, buffer in self.named_buffers():
+            state[f"buffer.{name}"] = np.asarray(buffer).copy()
+        return state
+
+    def load_state_dict(self, state: Mapping[str, np.ndarray]) -> None:
+        """Load parameters and buffers saved by :meth:`state_dict` (in place)."""
+
+        params = dict(self.named_parameters())
+        buffer_owners: Dict[str, Tuple[Module, str]] = {}
+
+        def collect(module: "Module", prefix: str) -> None:
+            for buf_name in module._buffers:
+                buffer_owners[f"{prefix}{buf_name}"] = (module, buf_name)
+            for child_name, child in module._modules.items():
+                collect(child, f"{prefix}{child_name}.")
+
+        collect(self, "")
+
+        for name, value in state.items():
+            if name.startswith("buffer."):
+                key = name[len("buffer."):]
+                if key not in buffer_owners:
+                    raise KeyError(f"unknown buffer '{key}' in state dict")
+                owner, buf_name = buffer_owners[key]
+                owner._buffers[buf_name][...] = value
+            else:
+                if name not in params:
+                    raise KeyError(f"unknown parameter '{name}' in state dict")
+                if params[name].data.shape != np.asarray(value).shape:
+                    raise ValueError(
+                        f"shape mismatch for '{name}': "
+                        f"{params[name].data.shape} vs {np.asarray(value).shape}"
+                    )
+                params[name].data[...] = value
+
+    # ------------------------------------------------------------------
+    # Forward
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        children = ", ".join(self._modules.keys())
+        return f"{type(self).__name__}({children})"

@@ -1,0 +1,229 @@
+"""Spiking neuron models: IF, LIF and PLIF (parametric LIF).
+
+All neurons follow the formulation of the paper (Section IV):
+
+* The membrane potential ``v`` integrates the input charge.
+* A spike ``o = Heaviside(z)`` is emitted when ``z = v / V_th - 1 > 0``
+  (Eq. 1), i.e. when ``v`` exceeds the threshold voltage ``V_th``.
+* The discontinuous derivative ``do/dz`` is replaced by a surrogate
+  (Eq. 2, the triangular surrogate by default).
+* After a spike the membrane is reset (hard reset to ``v_reset`` or soft
+  reset by subtracting ``V_th``).
+
+Threshold-voltage optimization (the core of FalVolt) is realised by making
+``V_th`` a learnable per-layer parameter: because the spike condition is
+computed as ``z = v / V_th - 1`` inside the autodiff graph, backpropagation
+produces exactly the ``dz/dV = -v / V_th^2`` factor of the paper's Eq. (4).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..autograd import Tensor, where
+from .module import Module, Parameter
+from .surrogate import SurrogateGradient, Triangle
+
+#: Lower bound applied to a learnable threshold voltage.  Keeps the spike
+#: condition well defined if gradient descent drives the raw parameter toward
+#: zero or below.
+MIN_THRESHOLD = 0.05
+
+
+class BaseNode(Module):
+    """Common machinery for stateful spiking neuron layers.
+
+    Parameters
+    ----------
+    v_threshold:
+        Initial threshold voltage ``V_th``.
+    v_reset:
+        Reset potential.  ``None`` selects a *soft* reset (subtract
+        ``V_th``), a float selects a *hard* reset to that value.
+    surrogate:
+        Surrogate gradient used in the backward pass (default: triangular,
+        matching Eq. 2 of the paper).
+    learnable_threshold:
+        When true, ``V_th`` becomes a learnable scalar parameter for this
+        layer (the FalVolt mechanism).
+    layer_label:
+        Human-readable label (e.g. ``"Conv1"``) used when reporting
+        per-layer optimized thresholds (Fig. 6).
+    """
+
+    def __init__(
+        self,
+        v_threshold: float = 1.0,
+        v_reset: Optional[float] = 0.0,
+        surrogate: Optional[SurrogateGradient] = None,
+        learnable_threshold: bool = False,
+        layer_label: Optional[str] = None,
+    ) -> None:
+        super().__init__()
+        if v_threshold <= 0:
+            raise ValueError("v_threshold must be positive")
+        self.surrogate = surrogate if surrogate is not None else Triangle()
+        self.v_reset = v_reset
+        self.learnable_threshold = bool(learnable_threshold)
+        self.layer_label = layer_label
+        if self.learnable_threshold:
+            self.v_threshold_param = Parameter(np.array(float(v_threshold)))
+        else:
+            self.v_threshold_param = None
+            self._fixed_threshold = float(v_threshold)
+        self.v: Optional[Tensor] = None
+
+    # ------------------------------------------------------------------
+    # Threshold handling
+    # ------------------------------------------------------------------
+    def threshold_tensor(self) -> Tensor:
+        """Return the current threshold voltage as a tensor (learnable or fixed)."""
+
+        if self.learnable_threshold:
+            return self.v_threshold_param.maximum(MIN_THRESHOLD)
+        return Tensor(np.array(self._fixed_threshold))
+
+    @property
+    def v_threshold(self) -> float:
+        """Current threshold voltage as a plain float (for reporting)."""
+
+        if self.learnable_threshold:
+            return float(max(self.v_threshold_param.data, MIN_THRESHOLD))
+        return self._fixed_threshold
+
+    def set_threshold(self, value: float) -> None:
+        """Set the threshold voltage (works for both fixed and learnable modes)."""
+
+        if value <= 0:
+            raise ValueError("threshold voltage must be positive")
+        if self.learnable_threshold:
+            self.v_threshold_param.data[...] = float(value)
+        else:
+            self._fixed_threshold = float(value)
+
+    def make_threshold_learnable(self, initial: Optional[float] = None) -> None:
+        """Convert a fixed threshold into a learnable parameter (used by FalVolt)."""
+
+        if self.learnable_threshold:
+            if initial is not None:
+                self.v_threshold_param.data[...] = float(initial)
+            return
+        value = float(initial) if initial is not None else self._fixed_threshold
+        self.learnable_threshold = True
+        self.v_threshold_param = Parameter(np.array(value))
+
+    def freeze_threshold(self) -> None:
+        """Convert a learnable threshold back into a fixed value."""
+
+        if not self.learnable_threshold:
+            return
+        value = self.v_threshold
+        self.learnable_threshold = False
+        self._parameters.pop("v_threshold_param", None)
+        object.__setattr__(self, "v_threshold_param", None)
+        self._fixed_threshold = value
+
+    # ------------------------------------------------------------------
+    # State handling
+    # ------------------------------------------------------------------
+    def reset_state(self) -> None:
+        """Forget the membrane potential (call between input sequences)."""
+
+        self.v = None
+
+    def _init_state(self, x: Tensor) -> None:
+        if self.v is None or self.v.shape != x.shape:
+            fill = 0.0 if self.v_reset is None else float(self.v_reset)
+            self.v = Tensor(np.full(x.shape, fill))
+
+    # ------------------------------------------------------------------
+    # Neuron dynamics (template methods)
+    # ------------------------------------------------------------------
+    def _charge(self, x: Tensor) -> Tensor:
+        """Integrate input ``x`` into the membrane potential and return it."""
+
+        raise NotImplementedError
+
+    def _fire(self, h: Tensor) -> Tensor:
+        threshold = self.threshold_tensor()
+        z = h / threshold - 1.0
+        return self.surrogate(z)
+
+    def _reset(self, h: Tensor, spike: Tensor) -> Tensor:
+        if self.v_reset is None:
+            # Soft reset: subtract the threshold from neurons that fired.
+            return h - spike * self.threshold_tensor()
+        # Hard reset: spiking neurons return to v_reset.
+        return where(spike.data > 0.5, Tensor(np.full(h.shape, float(self.v_reset))), h)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Advance the neuron by a single time step and return the spike output."""
+
+        self._init_state(x)
+        h = self._charge(x)
+        spike = self._fire(h)
+        self.v = self._reset(h, spike)
+        return spike
+
+
+class IFNode(BaseNode):
+    """Integrate-and-fire neuron (no leak): ``H_t = v_{t-1} + x_t``."""
+
+    def _charge(self, x: Tensor) -> Tensor:
+        return self.v + x
+
+
+class LIFNode(BaseNode):
+    """Leaky integrate-and-fire neuron with a fixed membrane time constant.
+
+    The discrete-time update follows the standard LIF form used by the PLIF
+    paper: ``H_t = v_{t-1} + (x_t - (v_{t-1} - v_rest)) / tau``.
+    """
+
+    def __init__(self, tau: float = 2.0, **kwargs) -> None:
+        super().__init__(**kwargs)
+        if tau < 1.0:
+            raise ValueError("tau must be >= 1 for a stable LIF update")
+        self.tau = float(tau)
+
+    def _charge(self, x: Tensor) -> Tensor:
+        rest = 0.0 if self.v_reset is None else float(self.v_reset)
+        return self.v + (x - (self.v - rest)) * (1.0 / self.tau)
+
+
+class PLIFNode(BaseNode):
+    """Parametric LIF neuron (Fang et al., ICCV 2021) with a learnable time constant.
+
+    The reciprocal time constant is parameterised as ``1/tau = sigmoid(w)``
+    with ``w`` learnable, which keeps ``tau > 1`` for any ``w`` and makes the
+    network far less sensitive to initialisation -- the property the paper
+    relies on for fast fault-aware retraining.
+    """
+
+    def __init__(self, init_tau: float = 2.0, **kwargs) -> None:
+        super().__init__(**kwargs)
+        if init_tau <= 1.0:
+            raise ValueError("init_tau must be > 1")
+        # sigmoid(w) = 1 / init_tau  =>  w = -log(init_tau - 1)
+        init_w = -math.log(init_tau - 1.0)
+        self.w = Parameter(np.array(init_w))
+
+    @property
+    def tau(self) -> float:
+        """Current membrane time constant implied by the learnable parameter."""
+
+        return float(1.0 / (1.0 / (1.0 + np.exp(-self.w.data))))
+
+    def _charge(self, x: Tensor) -> Tensor:
+        rest = 0.0 if self.v_reset is None else float(self.v_reset)
+        reciprocal_tau = self.w.sigmoid()
+        return self.v + (x - (self.v - rest)) * reciprocal_tau
+
+
+def spiking_nodes(module: Module) -> list[BaseNode]:
+    """Return all spiking neuron layers inside ``module`` in traversal order."""
+
+    return [m for m in module.modules() if isinstance(m, BaseNode)]

@@ -1,0 +1,142 @@
+"""Training loop utilities (used for both baseline training and fault-aware retraining).
+
+The :class:`Trainer` is deliberately small: it iterates a
+:class:`~repro.datasets.base.DataLoader`, performs surrogate-gradient BPTT
+updates, tracks per-epoch train/test accuracy and supports *callbacks* -- the
+hook FalVolt and FaPIT use to re-zero pruned weights at the end of every
+retraining epoch (Algorithm 1, line 13).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..autograd import Tensor, no_grad
+from ..utils.logging import get_logger
+from .loss import accuracy, rate_mse_loss
+from .network import SpikingClassifier
+from .optim import Optimizer
+
+logger = get_logger("training")
+
+#: Callback signature: ``callback(model, epoch, logs_dict)`` invoked after
+#: every epoch (after the optimizer steps of that epoch).
+EpochCallback = Callable[[SpikingClassifier, int, dict], None]
+
+
+@dataclasses.dataclass
+class TrainingHistory:
+    """Per-epoch record of losses and accuracies produced by :class:`Trainer.fit`."""
+
+    train_loss: List[float] = dataclasses.field(default_factory=list)
+    train_accuracy: List[float] = dataclasses.field(default_factory=list)
+    test_accuracy: List[float] = dataclasses.field(default_factory=list)
+
+    @property
+    def epochs(self) -> int:
+        return len(self.train_loss)
+
+    def best_test_accuracy(self) -> float:
+        return max(self.test_accuracy) if self.test_accuracy else 0.0
+
+    def epochs_to_reach(self, target_accuracy: float) -> Optional[int]:
+        """First epoch (1-based) whose test accuracy reaches ``target_accuracy``.
+
+        Returns ``None`` when the target is never reached -- used for the
+        paper's "2x fewer retraining epochs" claim (Fig. 8).
+        """
+
+        for index, value in enumerate(self.test_accuracy):
+            if value >= target_accuracy:
+                return index + 1
+        return None
+
+    def as_dict(self) -> dict:
+        return {
+            "train_loss": list(self.train_loss),
+            "train_accuracy": list(self.train_accuracy),
+            "test_accuracy": list(self.test_accuracy),
+        }
+
+
+class Trainer:
+    """Mini-batch surrogate-gradient trainer for :class:`SpikingClassifier`."""
+
+    def __init__(self, model: SpikingClassifier, optimizer: Optimizer,
+                 num_classes: int,
+                 loss_fn: Callable = rate_mse_loss) -> None:
+        self.model = model
+        self.optimizer = optimizer
+        self.num_classes = num_classes
+        self.loss_fn = loss_fn
+
+    # ------------------------------------------------------------------
+    # Single steps
+    # ------------------------------------------------------------------
+    def train_step(self, inputs: np.ndarray, labels: np.ndarray) -> tuple:
+        """One optimizer update; returns (loss value, batch accuracy)."""
+
+        self.model.train()
+        self.optimizer.zero_grad()
+        rates = self.model(Tensor(inputs))
+        loss = self.loss_fn(rates, labels, self.num_classes)
+        loss.backward()
+        self.optimizer.step()
+        return float(loss.item()), accuracy(rates, labels)
+
+    def evaluate(self, loader) -> float:
+        """Classification accuracy over a data loader (inference mode)."""
+
+        self.model.eval()
+        correct = 0
+        total = 0
+        with no_grad():
+            for inputs, labels in loader:
+                rates = self.model(Tensor(inputs))
+                predictions = np.argmax(rates.data, axis=1)
+                correct += int(np.sum(predictions == labels))
+                total += labels.shape[0]
+        self.model.train()
+        return correct / total if total else 0.0
+
+    # ------------------------------------------------------------------
+    # Full loop
+    # ------------------------------------------------------------------
+    def fit(self, train_loader, epochs: int, test_loader=None,
+            callbacks: Optional[Sequence[EpochCallback]] = None,
+            verbose: bool = False) -> TrainingHistory:
+        """Train for ``epochs`` epochs and return the :class:`TrainingHistory`."""
+
+        if epochs < 0:
+            raise ValueError("epochs must be non-negative")
+        callbacks = list(callbacks or [])
+        history = TrainingHistory()
+        for epoch in range(epochs):
+            epoch_losses: List[float] = []
+            epoch_accs: List[float] = []
+            for inputs, labels in train_loader:
+                loss_value, batch_acc = self.train_step(inputs, labels)
+                epoch_losses.append(loss_value)
+                epoch_accs.append(batch_acc)
+            logs = {
+                "epoch": epoch,
+                "train_loss": float(np.mean(epoch_losses)) if epoch_losses else 0.0,
+                "train_accuracy": float(np.mean(epoch_accs)) if epoch_accs else 0.0,
+            }
+            for callback in callbacks:
+                callback(self.model, epoch, logs)
+            if test_loader is not None:
+                logs["test_accuracy"] = self.evaluate(test_loader)
+            history.train_loss.append(logs["train_loss"])
+            history.train_accuracy.append(logs["train_accuracy"])
+            if "test_accuracy" in logs:
+                history.test_accuracy.append(logs["test_accuracy"])
+            if verbose:
+                logger.info(
+                    "epoch %d: loss=%.4f train_acc=%.3f test_acc=%s", epoch,
+                    logs["train_loss"], logs["train_accuracy"],
+                    f"{logs.get('test_accuracy', float('nan')):.3f}")
+        return history

@@ -1,0 +1,48 @@
+"""Systolic-array SNN accelerator (systolicSNN) simulator.
+
+Functional, bit-accurate-at-the-accumulator model of the weight-stationary
+PE grid the paper evaluates, plus fixed-point arithmetic, weight-to-PE
+mapping and a first-order latency model.
+"""
+
+from .fixed_point import DEFAULT_ACCUMULATOR_FORMAT, FixedPointFormat
+from .pe import ProcessingElement
+from .mapping import (
+    as_weight_matrix,
+    count_mapped_weights,
+    faulty_mask_for_layer_weight,
+    faulty_weight_mask,
+    pe_coordinates,
+    tile_counts,
+)
+from .array import FaultSite, SystolicArray
+from .scheduler import (
+    LayerSchedule,
+    LayerWorkload,
+    reexecution_overhead,
+    schedule_layer,
+    schedule_network,
+)
+from .energy import BYPASS_AREA_OVERHEAD, EnergyModel, compare_snn_vs_ann
+
+__all__ = [
+    "DEFAULT_ACCUMULATOR_FORMAT",
+    "FixedPointFormat",
+    "ProcessingElement",
+    "as_weight_matrix",
+    "count_mapped_weights",
+    "faulty_mask_for_layer_weight",
+    "faulty_weight_mask",
+    "pe_coordinates",
+    "tile_counts",
+    "FaultSite",
+    "SystolicArray",
+    "LayerSchedule",
+    "LayerWorkload",
+    "reexecution_overhead",
+    "schedule_layer",
+    "schedule_network",
+    "BYPASS_AREA_OVERHEAD",
+    "EnergyModel",
+    "compare_snn_vs_ann",
+]

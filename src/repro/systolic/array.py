@@ -1,0 +1,271 @@
+"""Functional simulator of an NxN systolic-array SNN accelerator.
+
+The simulator reproduces, in vectorised numpy, the arithmetic a
+weight-stationary systolic array performs when a spiking layer is executed:
+
+* The layer's 2D weight matrix is tiled over the ``R x C`` PE grid
+  (see :mod:`repro.systolic.mapping`).
+* Inside one tile, partial sums flow down a column: PE ``(r, c)`` adds its
+  stored weight (gated by the input spike) onto the partial sum coming from
+  PE ``(r-1, c)``.
+* A stuck-at fault in the accumulator output of PE ``(r, c)`` corrupts the
+  partial sum at that position of the chain, and the corrupted value
+  propagates through the rest of the column (prefix-sum fault model).
+* Tile outputs are accumulated off-array, so a fault affects every tile that
+  passes through the faulty PE -- the reuse effect responsible for the
+  catastrophic accuracy drops in the paper's Fig. 5.
+* A *bypassed* PE (mitigated design, Fig. 3b) forwards the incoming partial
+  sum unchanged: its weight contribution is skipped and its fault is masked.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..autograd.functional import _conv_output_size, im2col
+from .fixed_point import DEFAULT_ACCUMULATOR_FORMAT, FixedPointFormat
+from .mapping import as_weight_matrix, tile_counts
+from .pe import ProcessingElement
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSite:
+    """A fault attached to a PE: grid coordinates plus the stuck-at fault object."""
+
+    row: int
+    col: int
+    fault: object  # StuckAtFault (duck-typed: needs .apply(values, fmt))
+
+
+class SystolicArray:
+    """A weight-stationary ``rows x cols`` systolic array with optional faults.
+
+    Parameters
+    ----------
+    rows, cols:
+        Grid dimensions (the paper uses 256x256; vulnerability experiments
+        sweep 4x4 .. 256x256).
+    fmt:
+        Fixed-point format of the PE accumulators.
+    """
+
+    def __init__(self, rows: int, cols: int,
+                 fmt: FixedPointFormat = DEFAULT_ACCUMULATOR_FORMAT) -> None:
+        if rows <= 0 or cols <= 0:
+            raise ValueError("array dimensions must be positive")
+        self.rows = rows
+        self.cols = cols
+        self.fmt = fmt
+        self._fault_sites: List[FaultSite] = []
+        self._bypassed: set[Tuple[int, int]] = set()
+
+    # ------------------------------------------------------------------
+    # Fault / bypass management
+    # ------------------------------------------------------------------
+    @property
+    def num_pes(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def fault_sites(self) -> List[FaultSite]:
+        return list(self._fault_sites)
+
+    @property
+    def faulty_coordinates(self) -> List[Tuple[int, int]]:
+        return [(site.row, site.col) for site in self._fault_sites]
+
+    def clear_faults(self) -> None:
+        self._fault_sites = []
+        self._bypassed = set()
+
+    def inject_fault(self, row: int, col: int, fault) -> None:
+        """Attach a stuck-at fault to the accumulator output of PE ``(row, col)``."""
+
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise ValueError(f"PE coordinate {(row, col)} outside {self.rows}x{self.cols} array")
+        self._fault_sites.append(FaultSite(row, col, fault))
+
+    def load_fault_map(self, fault_map) -> None:
+        """Load all faults from a :class:`repro.faults.fault_map.FaultMap`-like object.
+
+        The object must provide ``items()`` yielding ``((row, col), fault)``.
+        """
+
+        self.clear_faults()
+        for (row, col), fault in fault_map.items():
+            self.inject_fault(row, col, fault)
+
+    def bypass_faulty_pes(self) -> None:
+        """Enable the bypass multiplexer of every faulty PE (mitigated mode)."""
+
+        self._bypassed = {(site.row, site.col) for site in self._fault_sites}
+
+    def set_bypass(self, coordinates: Iterable[Tuple[int, int]]) -> None:
+        """Explicitly set the collection of bypassed PEs."""
+
+        self._bypassed = {(int(r), int(c)) for r, c in coordinates}
+
+    @property
+    def bypassed_coordinates(self) -> set:
+        return set(self._bypassed)
+
+    def build_pe_grid(self) -> List[List[ProcessingElement]]:
+        """Materialise :class:`ProcessingElement` objects (used by the cycle model)."""
+
+        fault_lookup = {(s.row, s.col): s.fault for s in self._fault_sites}
+        grid = []
+        for r in range(self.rows):
+            row_list = []
+            for c in range(self.cols):
+                row_list.append(ProcessingElement(
+                    row=r, col=c, fmt=self.fmt,
+                    fault=fault_lookup.get((r, c)),
+                    bypassed=(r, c) in self._bypassed))
+            grid.append(row_list)
+        return grid
+
+    # ------------------------------------------------------------------
+    # Faulty linear algebra
+    # ------------------------------------------------------------------
+    def _active_faults_by_column(self) -> Dict[int, List[FaultSite]]:
+        """Faults that are not masked by a bypass, grouped by column, sorted by row."""
+
+        by_col: Dict[int, List[FaultSite]] = {}
+        for site in self._fault_sites:
+            if (site.row, site.col) in self._bypassed:
+                continue
+            by_col.setdefault(site.col, []).append(site)
+        for sites in by_col.values():
+            sites.sort(key=lambda s: s.row)
+        return by_col
+
+    def _bypass_mask_for_weight(self, weight_matrix: np.ndarray) -> Optional[np.ndarray]:
+        """Mask of weight elements whose PE is bypassed (contribution skipped)."""
+
+        if not self._bypassed:
+            return None
+        from .mapping import faulty_weight_mask
+
+        return faulty_weight_mask(self._bypassed, weight_matrix.shape, self.rows, self.cols)
+
+    def matmul(self, weight: np.ndarray, inputs: np.ndarray,
+               bias: Optional[np.ndarray] = None) -> np.ndarray:
+        """Compute ``inputs @ weight.T + bias`` with the array's fault semantics.
+
+        Parameters
+        ----------
+        weight:
+            Layer weight of shape ``(out_features, in_features)`` (or a 4D
+            convolution weight, reshaped internally).
+        inputs:
+            Activations of shape ``(batch, in_features)``.
+        bias:
+            Optional bias added off-array (the bias unit is not part of the
+            PE grid and is assumed fault-free).
+        """
+
+        weight_matrix = as_weight_matrix(weight).astype(np.float64)
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim != 2:
+            raise ValueError("inputs must be 2D (batch, in_features)")
+        out_features, in_features = weight_matrix.shape
+        if inputs.shape[1] != in_features:
+            raise ValueError(
+                f"input feature mismatch: weight expects {in_features}, got {inputs.shape[1]}")
+
+        effective_weight = weight_matrix
+        bypass_mask = self._bypass_mask_for_weight(weight_matrix)
+        if bypass_mask is not None:
+            effective_weight = np.where(bypass_mask, 0.0, weight_matrix)
+
+        faults_by_col = self._active_faults_by_column()
+        if not faults_by_col:
+            output = inputs @ effective_weight.T
+        else:
+            output = self._faulty_matmul(effective_weight, inputs, faults_by_col)
+
+        if bias is not None:
+            output = output + np.asarray(bias, dtype=np.float64)
+        return output
+
+    def _faulty_matmul(self, weight: np.ndarray, inputs: np.ndarray,
+                       faults_by_col: Dict[int, List[FaultSite]]) -> np.ndarray:
+        """Tile-by-tile matmul applying stuck-at corruption inside column chains."""
+
+        out_features, in_features = weight.shape
+        batch = inputs.shape[0]
+        rows, cols = self.rows, self.cols
+        tiles_in, _ = tile_counts(weight.shape, rows, cols)
+        output = np.zeros((batch, out_features))
+
+        # Column index of every output feature (constant across input tiles).
+        out_cols = np.arange(out_features) % cols
+        faulty_cols = sorted(faults_by_col)
+        clean_out_mask = ~np.isin(out_cols, faulty_cols)
+
+        for tile in range(tiles_in):
+            lo = tile * rows
+            hi = min(lo + rows, in_features)
+            w_tile = weight[:, lo:hi]           # (out, tile_rows)
+            x_tile = inputs[:, lo:hi]           # (batch, tile_rows)
+            tile_rows = hi - lo
+
+            # Fault-free columns: plain matmul.
+            if clean_out_mask.any():
+                output[:, clean_out_mask] += x_tile @ w_tile[clean_out_mask].T
+
+            # Faulty columns: walk the accumulation chain with corruption.
+            for col in faulty_cols:
+                out_idx = np.nonzero(out_cols == col)[0]
+                if out_idx.size == 0:
+                    continue
+                # Contribution of each row of the chain: (batch, n_out, tile_rows)
+                products = x_tile[:, None, :] * w_tile[out_idx][None, :, :]
+                prefix = np.cumsum(products, axis=2)
+                total = prefix[:, :, -1] if tile_rows else np.zeros((batch, out_idx.size))
+
+                acc = np.zeros((batch, out_idx.size))
+                prev_prefix = np.zeros((batch, out_idx.size))
+                applied_any = False
+                for site in faults_by_col[col]:
+                    if site.row >= tile_rows:
+                        continue
+                    upto = prefix[:, :, site.row]
+                    acc = acc + (upto - prev_prefix)
+                    acc = site.fault.apply(acc, self.fmt)
+                    prev_prefix = upto
+                    applied_any = True
+                if applied_any:
+                    acc = acc + (total - prev_prefix)
+                    output[:, out_idx] += acc
+                else:
+                    output[:, out_idx] += total
+        return output
+
+    # ------------------------------------------------------------------
+    # Convolution via im2col on the faulty array
+    # ------------------------------------------------------------------
+    def conv2d(self, weight: np.ndarray, x: np.ndarray,
+               bias: Optional[np.ndarray] = None,
+               stride: int = 1, padding: int = 0) -> np.ndarray:
+        """Convolve ``x`` with ``weight`` on the (possibly faulty) array.
+
+        ``x`` has shape ``(batch, in_channels, H, W)``; the result has shape
+        ``(batch, out_channels, H_out, W_out)``.
+        """
+
+        weight = np.asarray(weight, dtype=np.float64)
+        x = np.asarray(x, dtype=np.float64)
+        out_channels, in_channels, kh, kw = weight.shape
+        cols = im2col(x, (kh, kw), stride, padding)
+        batch, out_h, out_w, k = cols.shape
+        flat_inputs = cols.reshape(batch * out_h * out_w, k)
+        flat_out = self.matmul(weight.reshape(out_channels, -1), flat_inputs, bias=bias)
+        return flat_out.reshape(batch, out_h, out_w, out_channels).transpose(0, 3, 1, 2)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"SystolicArray({self.rows}x{self.cols}, faults={len(self._fault_sites)}, "
+                f"bypassed={len(self._bypassed)})")

@@ -1,0 +1,165 @@
+"""First-order energy and area model of the systolicSNN accelerator.
+
+The paper's background section argues that systolicSNN PEs are cheaper than
+systolic-array ANN PEs because spikes are binary: the PE only needs a
+fixed-point adder-subtractor (plus a small counter), not a full multiplier-
+and-accumulate (MAC) unit.  It also reports that the bypass circuitry used
+for fault mitigation costs only ~8 % extra area.
+
+This module provides a parametric energy/area model so the examples and
+ablation benchmarks can quantify those claims for the reproduction's layer
+shapes: per-operation energies are taken from published 45 nm estimates
+(Horowitz, ISSCC 2014 -- integer add ~0.03 pJ/bit-pair-normalised, integer
+multiply growing quadratically with width) and scaled by operation counts
+from the dataflow model in :mod:`repro.systolic.scheduler`.
+
+The absolute numbers are indicative only; the *ratios* (SNN accumulate vs
+ANN MAC, bypass overhead) are what the benchmarks report.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Sequence
+
+import numpy as np
+
+from .scheduler import LayerWorkload, schedule_network
+
+
+#: Energy of a 32-bit integer addition at 45 nm (Horowitz, ISSCC 2014), picojoules.
+INT32_ADD_PJ = 0.1
+#: Energy of a 32-bit integer multiplication at 45 nm, picojoules.
+INT32_MUL_PJ = 3.1
+#: Energy of reading one 32-bit word from a small (8 KiB) SRAM, picojoules.
+SRAM_READ_32_PJ = 5.0
+#: Relative area of one fixed-point adder-subtractor PE (arbitrary units).
+ADDER_PE_AREA = 1.0
+#: Relative area of a MAC-based PE (multiplier dominates).
+MAC_PE_AREA = 4.0
+#: Area overhead of the bypass multiplexer per PE, as reported by the paper (8 %).
+BYPASS_AREA_OVERHEAD = 0.08
+
+
+def _scale_by_width(energy_32bit: float, bits: int, quadratic: bool = False) -> float:
+    """Scale a 32-bit reference energy to ``bits`` (linear for adders, quadratic for multipliers)."""
+
+    if bits <= 0:
+        raise ValueError("bits must be positive")
+    ratio = bits / 32.0
+    return energy_32bit * (ratio ** 2 if quadratic else ratio)
+
+
+@dataclasses.dataclass(frozen=True)
+class EnergyModel:
+    """Per-operation energy/area parameters for a given accumulator width."""
+
+    accumulator_bits: int = 16
+    weight_bits: int = 16
+    sram_read_pj: float = SRAM_READ_32_PJ
+
+    def __post_init__(self) -> None:
+        if self.accumulator_bits <= 0 or self.weight_bits <= 0:
+            raise ValueError("bit widths must be positive")
+
+    @property
+    def snn_accumulate_pj(self) -> float:
+        """Energy of one spike-gated accumulate (the systolicSNN PE operation)."""
+
+        return _scale_by_width(INT32_ADD_PJ, self.accumulator_bits)
+
+    @property
+    def ann_mac_pj(self) -> float:
+        """Energy of one multiply-accumulate (the systolic ANN PE operation)."""
+
+        return (_scale_by_width(INT32_MUL_PJ, self.weight_bits, quadratic=True)
+                + _scale_by_width(INT32_ADD_PJ, self.accumulator_bits))
+
+    @property
+    def pe_energy_ratio(self) -> float:
+        """ANN MAC energy divided by SNN accumulate energy (>1 means SNN is cheaper)."""
+
+        return self.ann_mac_pj / self.snn_accumulate_pj
+
+    # ------------------------------------------------------------------
+    # Network-level estimates
+    # ------------------------------------------------------------------
+    def layer_energy_pj(self, workload: LayerWorkload, spike_rate: float = 1.0,
+                        style: str = "snn") -> float:
+        """Energy of one layer's worth of PE operations plus weight reads.
+
+        ``spike_rate`` is the fraction of input spikes that are 1 (SNN PEs
+        only accumulate when the incoming spike is asserted, so sparse
+        activity directly saves energy); ANN MACs always fire.
+        """
+
+        if not 0.0 <= spike_rate <= 1.0:
+            raise ValueError("spike_rate must be in [0, 1]")
+        if style not in ("snn", "ann"):
+            raise ValueError("style must be 'snn' or 'ann'")
+        operations = workload.out_features * workload.in_features * workload.vectors
+        weight_reads = workload.out_features * workload.in_features
+        read_energy = weight_reads * self.sram_read_pj * (self.weight_bits / 32.0)
+        if style == "snn":
+            return operations * spike_rate * self.snn_accumulate_pj + read_energy
+        return operations * self.ann_mac_pj + read_energy
+
+    def network_energy_pj(self, workloads: Sequence[LayerWorkload],
+                          spike_rates: Sequence[float] | None = None,
+                          style: str = "snn") -> float:
+        """Total energy of all layers; ``spike_rates`` defaults to dense (1.0)."""
+
+        if spike_rates is None:
+            spike_rates = [1.0] * len(workloads)
+        if len(spike_rates) != len(workloads):
+            raise ValueError("spike_rates must match the number of workloads")
+        return float(sum(self.layer_energy_pj(w, r, style=style)
+                         for w, r in zip(workloads, spike_rates)))
+
+    # ------------------------------------------------------------------
+    # Area estimates
+    # ------------------------------------------------------------------
+    def array_area(self, rows: int, cols: int, style: str = "snn",
+                   with_bypass: bool = False) -> float:
+        """Relative area of an ``rows x cols`` PE array (arbitrary units)."""
+
+        if rows <= 0 or cols <= 0:
+            raise ValueError("array dimensions must be positive")
+        per_pe = ADDER_PE_AREA if style == "snn" else MAC_PE_AREA
+        if style not in ("snn", "ann"):
+            raise ValueError("style must be 'snn' or 'ann'")
+        if with_bypass:
+            per_pe *= (1.0 + BYPASS_AREA_OVERHEAD)
+        return rows * cols * per_pe
+
+    def bypass_area_overhead(self, rows: int, cols: int) -> float:
+        """Fractional area cost of adding bypass muxes to every PE (paper: ~8 %)."""
+
+        plain = self.array_area(rows, cols, with_bypass=False)
+        protected = self.array_area(rows, cols, with_bypass=True)
+        return (protected - plain) / plain
+
+
+def compare_snn_vs_ann(workloads: Sequence[LayerWorkload], rows: int, cols: int,
+                       spike_rates: Sequence[float] | None = None,
+                       model: EnergyModel | None = None) -> Dict[str, float]:
+    """Summary dictionary comparing the systolicSNN against a MAC-based ANN array.
+
+    Returns energies (pJ), the energy ratio, cycle counts from the dataflow
+    model and the bypass area overhead -- the quantities quoted in the
+    paper's background and implementation sections.
+    """
+
+    model = model or EnergyModel()
+    snn_energy = model.network_energy_pj(workloads, spike_rates, style="snn")
+    ann_energy = model.network_energy_pj(workloads, None, style="ann")
+    schedule = schedule_network(workloads, rows, cols)
+    return {
+        "snn_energy_pj": snn_energy,
+        "ann_energy_pj": ann_energy,
+        "energy_ratio_ann_over_snn": ann_energy / snn_energy if snn_energy else float("inf"),
+        "total_cycles": float(schedule["total_cycles"]),
+        "average_utilization": float(schedule["average_utilization"]),
+        "bypass_area_overhead": model.bypass_area_overhead(rows, cols),
+        "pe_energy_ratio": model.pe_energy_ratio,
+    }

@@ -1,0 +1,160 @@
+"""Signed fixed-point arithmetic and bit-level stuck-at manipulation.
+
+The PEs of the systolicSNN accumulate 32-bit fixed-point weights under binary
+spikes (paper, Section II).  Stuck-at faults are injected into individual
+output bits of the PE accumulator, so the simulator needs to move between the
+real-valued domain used by the SNN software model and the two's-complement
+integer codes held in the hardware accumulator.  This module provides that
+conversion plus vectorised stuck-at application.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class FixedPointFormat:
+    """A signed two's-complement fixed-point format.
+
+    Parameters
+    ----------
+    total_bits:
+        Word length, including the sign bit.  The paper's PEs use 32-bit
+        accumulators; the default here is 16 bits which keeps the dynamic
+        range of the scaled-down networks while making MSB faults just as
+        catastrophic as in the paper.
+    frac_bits:
+        Number of fractional bits.
+    """
+
+    total_bits: int = 16
+    frac_bits: int = 8
+
+    def __post_init__(self) -> None:
+        if self.total_bits < 2 or self.total_bits > 62:
+            raise ValueError("total_bits must be in [2, 62]")
+        if not 0 <= self.frac_bits < self.total_bits:
+            raise ValueError("frac_bits must be in [0, total_bits)")
+
+    # ------------------------------------------------------------------
+    # Derived properties
+    # ------------------------------------------------------------------
+    @property
+    def int_bits(self) -> int:
+        """Number of integer bits (excluding the sign bit)."""
+
+        return self.total_bits - self.frac_bits - 1
+
+    @property
+    def scale(self) -> float:
+        """Value of one least-significant bit."""
+
+        return 2.0 ** (-self.frac_bits)
+
+    @property
+    def max_code(self) -> int:
+        return 2 ** (self.total_bits - 1) - 1
+
+    @property
+    def min_code(self) -> int:
+        return -(2 ** (self.total_bits - 1))
+
+    @property
+    def max_value(self) -> float:
+        return self.max_code * self.scale
+
+    @property
+    def min_value(self) -> float:
+        return self.min_code * self.scale
+
+    @property
+    def sign_bit(self) -> int:
+        """Bit index of the sign bit (the most significant bit)."""
+
+        return self.total_bits - 1
+
+    @property
+    def magnitude_msb(self) -> int:
+        """Bit index of the most significant *magnitude* bit (below the sign bit).
+
+        The paper's fault-location sweep (Fig. 5a) injects into the data bits
+        of the accumulator output, and its worst-case experiments use the
+        higher-order data bits; a stuck-at-1 here adds half the full-scale
+        range to almost every accumulator value.
+        """
+
+        return self.total_bits - 2
+
+    # ------------------------------------------------------------------
+    # Real <-> code conversion
+    # ------------------------------------------------------------------
+    def to_code(self, values: np.ndarray) -> np.ndarray:
+        """Quantise real values into saturating two's-complement integer codes."""
+
+        values = np.asarray(values, dtype=np.float64)
+        codes = np.round(values / self.scale)
+        codes = np.clip(codes, self.min_code, self.max_code)
+        return codes.astype(np.int64)
+
+    def from_code(self, codes: np.ndarray) -> np.ndarray:
+        """Convert integer codes back to real values."""
+
+        return np.asarray(codes, dtype=np.int64).astype(np.float64) * self.scale
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        """Round-trip real values through the fixed-point representation."""
+
+        return self.from_code(self.to_code(values))
+
+    # ------------------------------------------------------------------
+    # Bit manipulation on codes (two's complement held in int64)
+    # ------------------------------------------------------------------
+    def _to_unsigned(self, codes: np.ndarray) -> np.ndarray:
+        mask = (1 << self.total_bits) - 1
+        return np.asarray(codes, dtype=np.int64) & mask
+
+    def _from_unsigned(self, raw: np.ndarray) -> np.ndarray:
+        raw = np.asarray(raw, dtype=np.int64)
+        sign_mask = 1 << (self.total_bits - 1)
+        full = 1 << self.total_bits
+        return np.where(raw & sign_mask, raw - full, raw)
+
+    def get_bit(self, codes: np.ndarray, bit: int) -> np.ndarray:
+        """Return bit ``bit`` (0 = LSB) of each code as 0/1 integers."""
+
+        self._validate_bit(bit)
+        return (self._to_unsigned(codes) >> bit) & 1
+
+    def set_bit(self, codes: np.ndarray, bit: int, value: int) -> np.ndarray:
+        """Return codes with bit ``bit`` forced to ``value`` (0 or 1)."""
+
+        self._validate_bit(bit)
+        if value not in (0, 1):
+            raise ValueError("bit value must be 0 or 1")
+        raw = self._to_unsigned(codes)
+        if value == 1:
+            raw = raw | (1 << bit)
+        else:
+            raw = raw & ~np.int64(1 << bit)
+        return self._from_unsigned(raw)
+
+    def apply_stuck_at(self, values: np.ndarray, bit: int, stuck_value: int) -> np.ndarray:
+        """Apply a stuck-at fault to real values: quantise, force the bit, dequantise."""
+
+        codes = self.to_code(values)
+        faulty = self.set_bit(codes, bit, stuck_value)
+        return self.from_code(faulty)
+
+    def _validate_bit(self, bit: int) -> None:
+        if not 0 <= bit < self.total_bits:
+            raise ValueError(f"bit index {bit} out of range for {self.total_bits}-bit format")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Q{self.int_bits}.{self.frac_bits} ({self.total_bits} bits)"
+
+
+#: Default accumulator format used by the systolic array simulator.
+DEFAULT_ACCUMULATOR_FORMAT = FixedPointFormat(total_bits=16, frac_bits=8)

@@ -1,0 +1,91 @@
+"""Processing-element (PE) model of the systolicSNN accelerator.
+
+A PE (paper, Fig. 3a) holds a pre-stored 32-bit weight, accumulates it onto
+the incoming partial sum when the 1-bit input spike is asserted (using an
+adder-subtractor for signed weights), counts output spikes, and -- in the
+fault-mitigated design (Fig. 3b) -- can be *bypassed* by a multiplexer so a
+faulty PE forwards the incoming partial sum unchanged.
+
+The cycle-accurate behaviour lives here for unit testing and for the latency
+model; the vectorised functional simulation used for whole-network inference
+lives in :mod:`repro.systolic.array` and reproduces exactly the same
+arithmetic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from .fixed_point import DEFAULT_ACCUMULATOR_FORMAT, FixedPointFormat
+
+if TYPE_CHECKING:  # pragma: no cover - import used for type hints only
+    from ..faults.fault_model import StuckAtFault
+
+
+@dataclasses.dataclass
+class ProcessingElement:
+    """One processing element of the systolic array.
+
+    Parameters
+    ----------
+    row, col:
+        Grid coordinates of the PE.
+    fmt:
+        Fixed-point format of the accumulator output.
+    fault:
+        Optional stuck-at fault afflicting the accumulator output.
+    bypassed:
+        When true the PE is skipped (Fig. 3b): its contribution to the
+        column sum is dropped and the fault no longer corrupts the output.
+    """
+
+    row: int
+    col: int
+    fmt: FixedPointFormat = DEFAULT_ACCUMULATOR_FORMAT
+    fault: Optional["StuckAtFault"] = None
+    bypassed: bool = False
+    weight: float = 0.0
+    spike_count: int = 0
+
+    def __post_init__(self) -> None:
+        if self.row < 0 or self.col < 0:
+            raise ValueError("PE coordinates must be non-negative")
+
+    @property
+    def is_faulty(self) -> bool:
+        return self.fault is not None
+
+    def load_weight(self, weight: float) -> None:
+        """Pre-store a weight into the PE (weight-stationary dataflow)."""
+
+        self.weight = float(self.fmt.quantize(np.array(weight)))
+
+    def reset(self) -> None:
+        """Clear the spike counter (between inference passes)."""
+
+        self.spike_count = 0
+
+    def process(self, spike: int, partial_sum_in: float) -> float:
+        """Advance the PE by one cycle.
+
+        The incoming ``partial_sum_in`` flows down the column; when the input
+        ``spike`` is asserted the stored weight is added (or subtracted,
+        handled by the signed fixed-point representation).  The accumulator
+        output then passes through the stuck-at fault, if any.  A bypassed PE
+        simply forwards ``partial_sum_in``.
+        """
+
+        if spike not in (0, 1):
+            raise ValueError("spike input must be binary")
+        if self.bypassed:
+            return float(partial_sum_in)
+        if spike:
+            self.spike_count += 1
+        accumulated = partial_sum_in + (self.weight if spike else 0.0)
+        accumulated = float(self.fmt.quantize(np.array(accumulated)))
+        if self.fault is not None:
+            accumulated = float(self.fault.apply(np.array(accumulated), self.fmt))
+        return accumulated

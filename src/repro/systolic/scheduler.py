@@ -1,0 +1,91 @@
+"""Latency / utilisation model of the systolicSNN dataflow.
+
+The paper motivates systolic arrays with throughput; this module provides a
+first-order analytical model of the cycles needed to run a spiking layer on
+the array (spike inputs streamed row-wise, one time step per wavefront) so
+that the examples and ablation benchmarks can report utilisation and the
+cost of re-execution-based fault tolerance that the paper argues against.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .mapping import as_weight_matrix, tile_counts
+
+
+@dataclasses.dataclass(frozen=True)
+class LayerWorkload:
+    """Shape summary of one spiking layer executed on the array.
+
+    ``vectors`` is the number of input vectors streamed through the array for
+    one forward pass (batch size x spatial output positions x time steps).
+    """
+
+    name: str
+    out_features: int
+    in_features: int
+    vectors: int
+
+    @staticmethod
+    def from_weight(name: str, weight: np.ndarray, vectors: int) -> "LayerWorkload":
+        matrix = as_weight_matrix(weight)
+        return LayerWorkload(name=name, out_features=matrix.shape[0],
+                             in_features=matrix.shape[1], vectors=vectors)
+
+
+@dataclasses.dataclass(frozen=True)
+class LayerSchedule:
+    """Cycle count breakdown for one layer on a given array size."""
+
+    name: str
+    tiles: int
+    cycles: int
+    mac_operations: int
+    utilization: float
+
+
+def schedule_layer(workload: LayerWorkload, rows: int, cols: int) -> LayerSchedule:
+    """Estimate cycles for one layer with output-stationary wavefront timing.
+
+    Per tile the pipeline needs ``rows + cols - 1`` cycles to fill/drain plus
+    one cycle per streamed vector; tiles are executed back to back.
+    """
+
+    if rows <= 0 or cols <= 0:
+        raise ValueError("array dimensions must be positive")
+    tiles_in, tiles_out = tile_counts((workload.out_features, workload.in_features), rows, cols)
+    tiles = tiles_in * tiles_out
+    per_tile = rows + cols - 1 + workload.vectors
+    cycles = tiles * per_tile
+    mac_ops = workload.out_features * workload.in_features * workload.vectors
+    peak = rows * cols * cycles
+    utilization = mac_ops / peak if peak else 0.0
+    return LayerSchedule(name=workload.name, tiles=tiles, cycles=cycles,
+                         mac_operations=mac_ops, utilization=min(1.0, utilization))
+
+
+def schedule_network(workloads: Sequence[LayerWorkload], rows: int, cols: int
+                     ) -> Dict[str, object]:
+    """Schedule every layer and return totals plus the per-layer breakdown."""
+
+    layers = [schedule_layer(w, rows, cols) for w in workloads]
+    total_cycles = int(sum(l.cycles for l in layers))
+    total_macs = int(sum(l.mac_operations for l in layers))
+    return {
+        "layers": layers,
+        "total_cycles": total_cycles,
+        "total_macs": total_macs,
+        "average_utilization": float(np.mean([l.utilization for l in layers])) if layers else 0.0,
+    }
+
+
+def reexecution_overhead(total_cycles: int, redundancy: int = 2) -> int:
+    """Cycles required by redundant execution (the baseline the paper rejects)."""
+
+    if redundancy < 1:
+        raise ValueError("redundancy must be >= 1")
+    return total_cycles * redundancy

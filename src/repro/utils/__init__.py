@@ -1,0 +1,19 @@
+"""Shared utilities: deterministic RNG management, logging, serialization."""
+
+from .rng import DEFAULT_SEED, derive_seed, get_rng, spawn_rngs
+from .logging import Timer, configure_logging, get_logger
+from .serialization import load_records, load_state_dict, save_records, save_state_dict
+
+__all__ = [
+    "DEFAULT_SEED",
+    "derive_seed",
+    "get_rng",
+    "spawn_rngs",
+    "Timer",
+    "configure_logging",
+    "get_logger",
+    "load_records",
+    "load_state_dict",
+    "save_records",
+    "save_state_dict",
+]

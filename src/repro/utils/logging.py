@@ -1,0 +1,57 @@
+"""Lightweight logging helpers for experiments and examples."""
+
+from __future__ import annotations
+
+import logging
+import sys
+import time
+from typing import Optional
+
+_LOGGER_NAME = "repro"
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """Return the package logger (or a child logger for ``name``)."""
+
+    logger = logging.getLogger(_LOGGER_NAME if name is None else f"{_LOGGER_NAME}.{name}")
+    return logger
+
+
+def configure_logging(level: int = logging.INFO, stream=sys.stderr) -> logging.Logger:
+    """Configure the package logger once with a concise format."""
+
+    logger = logging.getLogger(_LOGGER_NAME)
+    if not logger.handlers:
+        handler = logging.StreamHandler(stream)
+        handler.setFormatter(logging.Formatter("[%(asctime)s] %(name)s %(levelname)s: %(message)s",
+                                                datefmt="%H:%M:%S"))
+        logger.addHandler(handler)
+    logger.setLevel(level)
+    return logger
+
+
+class Timer:
+    """Context manager measuring wall-clock time of a block.
+
+    Example
+    -------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self, label: str = "", logger: Optional[logging.Logger] = None) -> None:
+        self.label = label
+        self.logger = logger
+        self.elapsed = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed = time.perf_counter() - self._start
+        if self.logger is not None:
+            self.logger.info("%s took %.3fs", self.label or "block", self.elapsed)

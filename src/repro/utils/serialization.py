@@ -1,0 +1,67 @@
+"""Saving and loading model parameters and experiment records.
+
+Model state is stored as compressed ``.npz`` archives keyed by parameter
+name; experiment records are stored as JSON so they can be inspected and
+diffed by hand.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Mapping, Union
+
+import numpy as np
+
+PathLike = Union[str, Path]
+
+
+def save_state_dict(state: Mapping[str, np.ndarray], path: PathLike) -> Path:
+    """Save a mapping of parameter name -> numpy array to ``path`` (.npz)."""
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **{key: np.asarray(value) for key, value in state.items()})
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_state_dict(path: PathLike) -> Dict[str, np.ndarray]:
+    """Load a mapping of parameter name -> numpy array saved by :func:`save_state_dict`."""
+
+    path = Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path) as archive:
+        return {key: archive[key].copy() for key in archive.files}
+
+
+def _jsonify(value: Any) -> Any:
+    """Convert numpy scalars / arrays into JSON-serialisable structures."""
+
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    return value
+
+
+def save_records(records: Any, path: PathLike) -> Path:
+    """Save experiment records (list/dict of plain values) as pretty JSON."""
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(_jsonify(records), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_records(path: PathLike) -> Any:
+    """Load experiment records saved by :func:`save_records`."""
+
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)

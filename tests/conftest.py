@@ -1,0 +1,81 @@
+"""Shared fixtures for the test-suite.
+
+The expensive fixtures (a trained tiny model per dataset) are session-scoped
+so the many mitigation / fault-injection tests reuse one short training run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import DataLoader, load_dataset
+from repro.snn import Adam, Trainer, build_model_for_dataset
+from repro.utils.rng import get_rng
+
+
+TINY_MNIST_KWARGS = dict(num_train=120, num_test=50, seed=11, max_shift=1, noise_std=0.04)
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return get_rng(123)
+
+
+@pytest.fixture(scope="session")
+def tiny_mnist_data():
+    """Small synthetic MNIST train/test split shared across tests."""
+
+    return load_dataset("mnist", **TINY_MNIST_KWARGS)
+
+
+@pytest.fixture(scope="session")
+def tiny_mnist_loaders(tiny_mnist_data):
+    train, test = tiny_mnist_data
+    train_loader = DataLoader(train, batch_size=12, shuffle=True, seed=3)
+    test_loader = DataLoader(test, batch_size=50)
+    return train_loader, test_loader
+
+
+def build_tiny_mnist_model(seed: int = 5):
+    """Small MNIST PLIF-SNN used throughout the tests (untrained)."""
+
+    model, config = build_model_for_dataset(
+        "mnist", channels=6, hidden_units=32, time_steps=3, seed=seed)
+    return model, config
+
+
+@pytest.fixture()
+def tiny_model():
+    model, _ = build_tiny_mnist_model()
+    return model
+
+
+@pytest.fixture(scope="session")
+def trained_tiny_model_state(tiny_mnist_data):
+    """State dict of a tiny MNIST model trained to high accuracy (shared, read-only).
+
+    Fresh data loaders are built here (rather than reusing the shared loader
+    fixture) so the training run does not depend on how many times other
+    tests have advanced the shared loader's shuffle stream.
+    """
+
+    train, test = tiny_mnist_data
+    train_loader = DataLoader(train, batch_size=12, shuffle=True, seed=3)
+    test_loader = DataLoader(test, batch_size=50)
+    model, _ = build_tiny_mnist_model()
+    trainer = Trainer(model, Adam(model.parameters(), lr=2.5e-2), num_classes=10)
+    history = trainer.fit(train_loader, epochs=10, test_loader=test_loader)
+    return {
+        "state": model.state_dict(),
+        "test_accuracy": history.test_accuracy[-1],
+    }
+
+
+@pytest.fixture()
+def trained_tiny_model(trained_tiny_model_state):
+    """A fresh tiny MNIST model loaded with the shared trained weights."""
+
+    model, _ = build_tiny_mnist_model()
+    model.load_state_dict(trained_tiny_model_state["state"])
+    return model

@@ -1,0 +1,304 @@
+"""Unit tests for the core autodiff engine (Tensor, ops, backward)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, as_tensor, check_gradients, concatenate, no_grad, stack, where
+from repro.autograd import is_grad_enabled
+
+
+class TestTensorBasics:
+    def test_construction_from_list(self):
+        t = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.shape == (2, 2)
+        assert t.dtype == np.float64
+
+    def test_requires_grad_flag(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        assert t.requires_grad
+        assert t.grad is None
+
+    def test_item_and_len(self):
+        assert Tensor(np.array(2.5)).item() == pytest.approx(2.5)
+        assert len(Tensor(np.zeros(7))) == 7
+
+    def test_detach_shares_data_but_not_graph(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+        d.data[0] = 5.0
+        assert t.data[0] == 5.0  # shared storage
+
+    def test_copy_is_independent(self):
+        t = Tensor(np.ones(3))
+        c = t.copy()
+        c.data[0] = 9.0
+        assert t.data[0] == 1.0
+
+    def test_constructors(self):
+        assert np.all(Tensor.zeros((2, 2)).data == 0)
+        assert np.all(Tensor.ones((2, 2)).data == 1)
+        assert np.all(Tensor.full((2,), 3.5).data == 3.5)
+        r = Tensor.randn((4, 4), rng=np.random.default_rng(0))
+        assert r.shape == (4, 4)
+
+    def test_as_tensor_passthrough(self):
+        t = Tensor(np.ones(2))
+        assert as_tensor(t) is t
+        assert isinstance(as_tensor([1.0, 2.0]), Tensor)
+
+
+class TestArithmeticBackward:
+    def test_add_backward(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        b = Tensor(np.array([3.0, 4.0]), requires_grad=True)
+        (a + b).sum().backward()
+        assert np.allclose(a.grad, [1.0, 1.0])
+        assert np.allclose(b.grad, [1.0, 1.0])
+
+    def test_mul_backward(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        b = Tensor(np.array([3.0, 4.0]), requires_grad=True)
+        (a * b).sum().backward()
+        assert np.allclose(a.grad, [3.0, 4.0])
+        assert np.allclose(b.grad, [1.0, 2.0])
+
+    def test_sub_and_neg_backward(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        b = Tensor(np.array([3.0, 5.0]), requires_grad=True)
+        (a - b).sum().backward()
+        assert np.allclose(a.grad, [1.0, 1.0])
+        assert np.allclose(b.grad, [-1.0, -1.0])
+
+    def test_div_backward(self):
+        a = Tensor(np.array([2.0, 4.0]), requires_grad=True)
+        b = Tensor(np.array([2.0, 8.0]), requires_grad=True)
+        (a / b).sum().backward()
+        assert np.allclose(a.grad, [0.5, 0.125])
+        assert np.allclose(b.grad, [-0.5, -0.0625])
+
+    def test_pow_backward(self):
+        a = Tensor(np.array([2.0, 3.0]), requires_grad=True)
+        (a ** 3).sum().backward()
+        assert np.allclose(a.grad, [12.0, 27.0])
+
+    def test_scalar_broadcasting(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        (2.0 * a + 1.0).sum().backward()
+        assert np.allclose(a.grad, [2.0, 2.0])
+
+    def test_rsub_rdiv(self):
+        a = Tensor(np.array([2.0, 4.0]), requires_grad=True)
+        out = (8.0 - a) + (8.0 / a)
+        out.sum().backward()
+        assert np.allclose(a.grad, [-1.0 - 2.0, -1.0 - 0.5])
+
+    def test_matmul_backward_2d(self):
+        a = Tensor(np.random.default_rng(0).normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(np.random.default_rng(1).normal(size=(4, 5)), requires_grad=True)
+        check_gradients(lambda x, y: x @ y, [a, b])
+
+    def test_grad_accumulates_over_reuse(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        out = a * 2.0 + a * 3.0
+        out.sum().backward()
+        assert np.allclose(a.grad, [5.0, 5.0])
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        t = Tensor(np.ones(3))
+        with pytest.raises(RuntimeError):
+            t.backward()
+
+    def test_tensor_exponent_rejected(self):
+        a = Tensor(np.ones(2), requires_grad=True)
+        with pytest.raises(TypeError):
+            a ** Tensor(np.ones(2))
+
+
+class TestBroadcastingGradients:
+    def test_broadcast_add_bias(self):
+        x = Tensor(np.ones((4, 3)), requires_grad=True)
+        b = Tensor(np.zeros(3), requires_grad=True)
+        (x + b).sum().backward()
+        assert b.grad.shape == (3,)
+        assert np.allclose(b.grad, [4.0, 4.0, 4.0])
+
+    def test_broadcast_mul_column(self):
+        x = Tensor(np.ones((4, 3)), requires_grad=True)
+        c = Tensor(np.full((4, 1), 2.0), requires_grad=True)
+        (x * c).sum().backward()
+        assert c.grad.shape == (4, 1)
+        assert np.allclose(c.grad, 3.0)
+
+    def test_broadcast_scalar_tensor(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        s = Tensor(np.array(3.0), requires_grad=True)
+        (x * s).sum().backward()
+        assert s.grad.shape == ()
+        assert s.grad == pytest.approx(4.0)
+
+
+class TestReductionsAndShape:
+    def test_sum_axis_keepdims(self):
+        x = Tensor(np.arange(12.0).reshape(3, 4), requires_grad=True)
+        out = x.sum(axis=1, keepdims=True)
+        assert out.shape == (3, 1)
+        out.backward(np.ones((3, 1)))
+        assert np.allclose(x.grad, 1.0)
+
+    def test_mean_gradient(self):
+        x = Tensor(np.ones((2, 5)), requires_grad=True)
+        x.mean().backward()
+        assert np.allclose(x.grad, 0.1)
+
+    def test_mean_multi_axis(self):
+        x = Tensor(np.ones((2, 3, 4)), requires_grad=True)
+        out = x.mean(axis=(1, 2))
+        assert out.shape == (2,)
+        out.sum().backward()
+        assert np.allclose(x.grad, 1.0 / 12)
+
+    def test_var_matches_numpy(self):
+        data = np.random.default_rng(0).normal(size=(3, 5))
+        x = Tensor(data)
+        assert np.allclose(x.var(axis=1).data, data.var(axis=1))
+
+    def test_max_gradient_to_argmax(self):
+        x = Tensor(np.array([[1.0, 5.0, 2.0]]), requires_grad=True)
+        x.max(axis=1).sum().backward()
+        assert np.allclose(x.grad, [[0.0, 1.0, 0.0]])
+
+    def test_max_gradient_splits_ties(self):
+        x = Tensor(np.array([[3.0, 3.0]]), requires_grad=True)
+        x.max(axis=1).sum().backward()
+        assert np.allclose(x.grad, [[0.5, 0.5]])
+
+    def test_reshape_backward(self):
+        x = Tensor(np.arange(6.0), requires_grad=True)
+        x.reshape(2, 3).sum().backward()
+        assert x.grad.shape == (6,)
+        assert np.allclose(x.grad, 1.0)
+
+    def test_flatten_batch(self):
+        x = Tensor(np.zeros((4, 2, 3, 3)))
+        assert x.flatten_batch().shape == (4, 18)
+
+    def test_transpose_backward(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 3, 4)), requires_grad=True)
+        check_gradients(lambda t: t.transpose(2, 0, 1), [x])
+
+    def test_T_property(self):
+        x = Tensor(np.zeros((2, 5)))
+        assert x.T.shape == (5, 2)
+
+    def test_getitem_backward(self):
+        x = Tensor(np.arange(10.0), requires_grad=True)
+        x[2:5].sum().backward()
+        expected = np.zeros(10)
+        expected[2:5] = 1.0
+        assert np.allclose(x.grad, expected)
+
+    def test_getitem_fancy_index_accumulates(self):
+        x = Tensor(np.arange(5.0), requires_grad=True)
+        idx = np.array([1, 1, 3])
+        x[idx].sum().backward()
+        expected = np.array([0.0, 2.0, 0.0, 1.0, 0.0])
+        assert np.allclose(x.grad, expected)
+
+
+class TestNonlinearities:
+    @pytest.mark.parametrize("fn", ["exp", "sigmoid", "tanh", "relu", "abs"])
+    def test_gradcheck_elementwise(self, fn):
+        x = Tensor(np.random.default_rng(3).normal(size=(4, 3)) + 0.1, requires_grad=True)
+        check_gradients(lambda t: getattr(t, fn)(), [x])
+
+    def test_log_gradcheck_positive(self):
+        x = Tensor(np.random.default_rng(4).uniform(0.5, 2.0, size=(3, 3)), requires_grad=True)
+        check_gradients(lambda t: t.log(), [x])
+
+    def test_clip_gradient_zero_outside(self):
+        x = Tensor(np.array([-2.0, 0.5, 2.0]), requires_grad=True)
+        x.clip(-1.0, 1.0).sum().backward()
+        assert np.allclose(x.grad, [0.0, 1.0, 0.0])
+
+    def test_maximum_with_constant(self):
+        x = Tensor(np.array([-1.0, 2.0]), requires_grad=True)
+        x.maximum(0.0).sum().backward()
+        assert np.allclose(x.grad, [0.0, 1.0])
+
+    def test_relu_values(self):
+        x = Tensor(np.array([-1.0, 0.0, 2.0]))
+        assert np.allclose(x.relu().data, [0.0, 0.0, 2.0])
+
+    def test_comparison_returns_numpy(self):
+        x = Tensor(np.array([1.0, 3.0]))
+        assert isinstance(x > 2.0, np.ndarray)
+        assert np.array_equal(x > 2.0, [False, True])
+
+
+class TestGraphUtilities:
+    def test_stack_backward(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.ones(3) * 2, requires_grad=True)
+        stack([a, b], axis=0).sum().backward()
+        assert np.allclose(a.grad, 1.0)
+        assert np.allclose(b.grad, 1.0)
+
+    def test_concatenate_backward(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.ones((3, 2)), requires_grad=True)
+        out = concatenate([a, b], axis=0)
+        assert out.shape == (5, 2)
+        (out * 2.0).sum().backward()
+        assert np.allclose(a.grad, 2.0)
+        assert np.allclose(b.grad, 2.0)
+
+    def test_where_routes_gradient(self):
+        cond = np.array([True, False, True])
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.zeros(3), requires_grad=True)
+        where(cond, a, b).sum().backward()
+        assert np.allclose(a.grad, [1.0, 0.0, 1.0])
+        assert np.allclose(b.grad, [0.0, 1.0, 0.0])
+
+    def test_no_grad_blocks_graph(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            assert not is_grad_enabled()
+            out = a * 2.0
+        assert is_grad_enabled()
+        assert not out.requires_grad
+
+    def test_no_grad_restored_after_exception(self):
+        with pytest.raises(ValueError):
+            with no_grad():
+                raise ValueError("boom")
+        assert is_grad_enabled()
+
+    def test_deep_chain_backward(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        out = x
+        for _ in range(50):
+            out = out * 1.01 + 0.001
+        out.backward()
+        assert x.grad is not None and x.grad[0] > 0
+
+    def test_diamond_graph_gradient(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        a = x * 3.0
+        b = x * 4.0
+        (a + b).backward()
+        assert np.allclose(x.grad, [7.0])
+
+    def test_zero_grad_clears(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        (x * 2.0).sum().backward()
+        assert x.grad is not None
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_explicit_backward_gradient(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        y = x * 3.0
+        y.backward(np.full((2, 2), 2.0))
+        assert np.allclose(x.grad, 6.0)

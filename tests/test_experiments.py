@@ -1,0 +1,225 @@
+"""Tests for the experiment harness (configs, baseline cache, reporting, registry)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    ExperimentConfig,
+    PAPER_DATASETS,
+    PAPER_FAULT_RATES,
+    PAPER_THRESHOLD_GRID,
+    clear_baseline_cache,
+    default_config,
+    format_series,
+    format_table,
+    get_experiment,
+    list_experiments,
+    prepare_baseline,
+    summarize,
+)
+from repro.experiments.baseline import build_loaders
+
+
+#: Micro configuration used by the integration tests below: small enough to
+#: train in a couple of seconds, large enough to be well above chance.
+MICRO = ExperimentConfig(
+    dataset="mnist", num_train=120, num_test=50,
+    dataset_kwargs=(("max_shift", 1), ("noise_std", 0.04)),
+    channels=6, hidden_units=24, time_steps=3,
+    batch_size=12, baseline_epochs=10, baseline_lr=2.5e-2,
+    retrain_epochs=2, retrain_lr=1.5e-2,
+    array_rows=16, array_cols=16, seed=13)
+
+
+@pytest.fixture(scope="module")
+def micro_baseline():
+    return prepare_baseline(MICRO)
+
+
+class TestConfig:
+    def test_default_configs_exist_for_paper_datasets(self):
+        for dataset in PAPER_DATASETS:
+            config = default_config(dataset)
+            assert config.dataset == dataset
+            assert config.num_classes in (10, 11)
+
+    def test_full_scale_differs(self):
+        small = default_config("mnist", scale="small")
+        full = default_config("mnist", scale="full")
+        assert full.num_train > small.num_train
+        assert full.array_rows >= small.array_rows
+
+    def test_unknown_scale_or_dataset(self):
+        with pytest.raises(KeyError):
+            default_config("mnist", scale="huge")
+        with pytest.raises(KeyError):
+            default_config("cifar")
+
+    def test_overrides(self):
+        config = default_config("mnist", num_train=50, seed=99)
+        assert config.num_train == 50 and config.seed == 99
+
+    def test_with_overrides_returns_copy(self):
+        config = default_config("mnist")
+        other = config.with_overrides(batch_size=5)
+        assert other.batch_size == 5 and config.batch_size != 5
+
+    def test_paper_constants(self):
+        assert PAPER_FAULT_RATES == (0.10, 0.30, 0.60)
+        assert PAPER_THRESHOLD_GRID == (0.45, 0.5, 0.55, 0.7)
+
+    def test_dataset_options_dict(self):
+        assert default_config("mnist").dataset_options()["max_shift"] == 1
+        assert default_config("nmnist").dataset_options() == {}
+
+
+class TestReporting:
+    RECORDS = [
+        {"method": "FaP", "fault_rate": 0.3, "accuracy": 0.42},
+        {"method": "FalVolt", "fault_rate": 0.3, "accuracy": 0.985},
+    ]
+
+    def test_format_table_contains_values(self):
+        table = format_table(self.RECORDS, columns=["method", "accuracy"], title="Fig7")
+        assert "Fig7" in table and "FalVolt" in table and "0.985" in table
+        assert table.count("\n") >= 3
+
+    def test_format_table_empty(self):
+        assert "(no records)" in format_table([], title="x")
+
+    def test_format_table_infers_columns(self):
+        table = format_table(self.RECORDS)
+        assert "fault_rate" in table
+
+    def test_format_series_grouping(self):
+        series = format_series(self.RECORDS, x="fault_rate", y="accuracy", group_by="method")
+        assert "[method=FaP]" in series and "0.300->0.420" in series
+
+    def test_format_series_ungrouped(self):
+        series = format_series(self.RECORDS, x="fault_rate", y="accuracy")
+        assert "0.300->0.985" in series
+
+    def test_summarize_projects_keys(self):
+        rows = summarize(self.RECORDS, ["method"])
+        assert rows == [{"method": "FaP"}, {"method": "FalVolt"}]
+
+
+class TestRegistry:
+    def test_all_paper_figures_registered(self):
+        ids = {spec.experiment_id for spec in list_experiments()}
+        assert {"fig2", "fig5a", "fig5b", "fig5c", "fig6", "fig7", "fig8", "headline"} <= ids
+
+    def test_every_spec_has_runner_and_benchmark(self):
+        for spec in list_experiments():
+            assert callable(spec.runner)
+            assert spec.benchmark.startswith("benchmarks/")
+
+    def test_get_experiment(self):
+        assert get_experiment("fig7").paper_artifact == "Figure 7"
+        with pytest.raises(KeyError):
+            get_experiment("fig9")
+
+
+class TestBaselinePreparation:
+    def test_build_loaders_shapes(self):
+        train_loader, test_loader = build_loaders(MICRO)
+        inputs, labels = next(iter(train_loader))
+        assert inputs.shape[0] == MICRO.batch_size
+        assert labels.shape[0] == MICRO.batch_size
+
+    def test_baseline_reaches_reasonable_accuracy(self, micro_baseline):
+        assert micro_baseline.baseline_accuracy > 0.6
+        assert micro_baseline.num_classes == 10
+
+    def test_baseline_cache_reused(self, micro_baseline):
+        again = prepare_baseline(MICRO)
+        assert again is micro_baseline
+
+    def test_model_factory_returns_independent_copies(self, micro_baseline):
+        a = micro_baseline.model_factory()
+        b = micro_baseline.model_factory()
+        a_params = dict(a.named_parameters())
+        b_params = dict(b.named_parameters())
+        name = next(iter(a_params))
+        a_params[name].data += 1.0
+        assert not np.allclose(a_params[name].data, b_params[name].data)
+
+    def test_clear_cache(self, micro_baseline):
+        clear_baseline_cache()
+        rebuilt = prepare_baseline(MICRO, use_cache=False)
+        assert rebuilt is not micro_baseline
+        # Re-populate the module-scoped cache entry for later tests.
+        prepare_baseline(MICRO)
+
+
+class TestExperimentDrivers:
+    def test_fig5b_records_shape(self, micro_baseline):
+        from repro.experiments import run_fig5b_faulty_pe_count
+
+        records = run_fig5b_faulty_pe_count(MICRO, counts=(0, 16), trials=2)
+        assert len(records) == 2
+        assert records[0]["num_faulty_pes"] == 0
+        assert records[0]["accuracy"] >= records[1]["accuracy"] - 0.05
+        assert all(r["dataset"] == "mnist" for r in records)
+
+    def test_fig5a_records_shape(self, micro_baseline):
+        from repro.experiments import run_fig5a_bit_locations
+
+        records = run_fig5a_bit_locations(MICRO, bit_positions=(0, 14),
+                                          stuck_types=("sa1",), num_faulty=4, trials=1)
+        assert len(records) == 2
+        bits = {r["bit_position"] for r in records}
+        assert bits == {0, 14}
+
+    def test_fig5c_records_shape(self, micro_baseline):
+        from repro.experiments import run_fig5c_array_sizes
+
+        records = run_fig5c_array_sizes(MICRO, sizes=(4, 16), num_faulty=2, trials=1)
+        assert [r["array_size"] for r in records] == [4, 16]
+
+    def test_fig7_methods_and_ordering(self, micro_baseline):
+        from repro.experiments import run_fig7_mitigation_comparison
+
+        records = run_fig7_mitigation_comparison(MICRO, fault_rates=(0.30,),
+                                                 methods=("fap", "falvolt"),
+                                                 retraining_epochs=2)
+        assert len(records) == 2
+        by_method = {r["method"]: r for r in records}
+        assert set(by_method) == {"FaP", "FalVolt"}
+        assert by_method["FalVolt"]["accuracy"] >= by_method["FaP"]["accuracy"]
+
+    def test_fig6_threshold_records(self, micro_baseline):
+        from repro.experiments import run_fig6_optimized_thresholds
+
+        records = run_fig6_optimized_thresholds(MICRO, fault_rates=(0.30,),
+                                                retraining_epochs=1)
+        layers = {r["layer"] for r in records}
+        assert layers == {"Conv1", "Conv2", "FC1", "FC2"}
+        assert all(r["threshold_voltage"] > 0 for r in records)
+
+    def test_fig8_convergence_records(self, micro_baseline):
+        from repro.experiments import convergence_speedup, run_fig8_convergence
+
+        records = run_fig8_convergence(MICRO, fault_rate=0.30, retraining_epochs=2)
+        methods = {r["method"] for r in records}
+        assert methods == {"FaPIT", "FalVolt"}
+        assert all(1 <= r["epoch"] <= 2 for r in records)
+        # Speedup is either undefined (not reached) or a positive ratio.
+        speedup = convergence_speedup(records)
+        assert speedup is None or speedup > 0
+
+    def test_fig2_threshold_grid(self, micro_baseline):
+        from repro.experiments import run_fig2_threshold_grid
+
+        records = run_fig2_threshold_grid(MICRO, fault_rates=(0.30,),
+                                          thresholds=(0.55, 1.0), retraining_epochs=1)
+        assert len(records) == 2
+        assert {r["threshold"] for r in records} == {0.55, 1.0}
+        assert all(0.0 <= r["accuracy"] <= 1.0 for r in records)
+
+    def test_unknown_mitigation_rejected(self, micro_baseline):
+        from repro.experiments import run_fig7_mitigation_comparison
+
+        with pytest.raises(KeyError):
+            run_fig7_mitigation_comparison(MICRO, methods=("pruning",))

@@ -1,0 +1,142 @@
+"""Tests for the post-fabrication fault-detection flow (fault-map recovery)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.faults import (
+    StuckAtFault,
+    detect_fault_map,
+    detection_coverage,
+    generate_test_vectors,
+    locate_faulty_columns,
+    random_fault_map,
+    run_detection,
+)
+from repro.faults.injection import build_faulty_array
+from repro.systolic import DEFAULT_ACCUMULATOR_FORMAT, SystolicArray
+
+FMT = DEFAULT_ACCUMULATOR_FORMAT
+
+
+class TestTestVectors:
+    def test_vector_shapes(self):
+        vectors = generate_test_vectors(8, 6)
+        assert len(vectors) == 2
+        for vector in vectors:
+            assert vector.weight.shape == (6, 8)
+            assert vector.activation.shape == (1, 8)
+            assert set(np.unique(vector.activation)) <= {0.0, 1.0}
+
+    def test_positive_and_negative_planes(self):
+        vectors = generate_test_vectors(4, 4)
+        signs = {np.sign(v.weight).mean() for v in vectors}
+        assert signs == {1.0, -1.0}
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            generate_test_vectors(0, 4)
+        with pytest.raises(ValueError):
+            generate_test_vectors(4, 4, weight_value=0.0)
+
+
+class TestColumnLocalisation:
+    def test_clean_array_reports_nothing(self):
+        array = SystolicArray(8, 8)
+        errors = locate_faulty_columns(array, generate_test_vectors(8, 8))
+        assert errors == {}
+
+    def test_faulty_column_detected(self):
+        array = SystolicArray(8, 8)
+        array.inject_fault(3, 5, StuckAtFault(FMT.magnitude_msb, "sa1"))
+        errors = locate_faulty_columns(array, generate_test_vectors(8, 8))
+        assert set(errors) == {5}
+        assert errors[5] > 0  # stuck-at-1 pushes the sum upward
+
+    def test_multiple_columns(self):
+        array = SystolicArray(8, 8)
+        array.inject_fault(0, 1, StuckAtFault(FMT.magnitude_msb, "sa1"))
+        array.inject_fault(7, 6, StuckAtFault(FMT.magnitude_msb - 2, "sa1"))
+        errors = locate_faulty_columns(array, generate_test_vectors(8, 8))
+        assert set(errors) == {1, 6}
+
+
+class TestFullDetection:
+    def test_single_fault_exact_localisation(self):
+        array = SystolicArray(8, 8)
+        array.inject_fault(3, 5, StuckAtFault(FMT.magnitude_msb, "sa1"))
+        diagnoses = run_detection(array)
+        assert len(diagnoses) == 1
+        assert (diagnoses[0].row, diagnoses[0].col) == (3, 5)
+        assert diagnoses[0].estimated_type.short_name == "sa1"
+
+    def test_detection_leaves_bypass_state_unchanged(self):
+        array = SystolicArray(8, 8)
+        array.inject_fault(2, 2, StuckAtFault(FMT.magnitude_msb, "sa1"))
+        array.set_bypass({(0, 0)})
+        run_detection(array)
+        assert array.bypassed_coordinates == {(0, 0)}
+
+    def test_two_faults_in_same_column(self):
+        array = SystolicArray(8, 8)
+        array.inject_fault(1, 4, StuckAtFault(FMT.magnitude_msb, "sa1"))
+        array.inject_fault(6, 4, StuckAtFault(FMT.magnitude_msb - 1, "sa1"))
+        found = {(d.row, d.col) for d in run_detection(array)}
+        assert found == {(1, 4), (6, 4)}
+
+    def test_recovered_map_enables_full_repair(self, trained_tiny_model, tiny_mnist_data):
+        """End-to-end: detect the fault map from the chip, then verify that
+        bypassing the detected PEs restores the fault-free behaviour."""
+
+        from repro.datasets import DataLoader
+        from repro.faults import evaluate_with_faults
+
+        _, test = tiny_mnist_data
+        loader = DataLoader(test, batch_size=50)
+        true_map = random_fault_map(16, 16, 10, bit_position=FMT.magnitude_msb,
+                                    stuck_type="sa1", seed=9)
+        array = build_faulty_array(true_map)
+        recovered = detect_fault_map(array)
+        coverage = detection_coverage(true_map, recovered)
+        assert coverage["recall"] >= 0.9
+        assert coverage["spurious"] <= 2
+        # Bypass the *recovered* coordinates and measure accuracy on the chip.
+        array.set_bypass(recovered.coordinates())
+        repaired = evaluate_with_faults(trained_tiny_model, loader, array=array)
+        corrupted = evaluate_with_faults(trained_tiny_model, loader, fault_map=true_map)
+        assert repaired >= corrupted
+
+    @given(st.integers(min_value=0, max_value=6))
+    @settings(max_examples=8, deadline=None)
+    def test_detection_recall_on_random_maps(self, num_faults):
+        true_map = random_fault_map(8, 8, num_faults,
+                                    bit_position=FMT.magnitude_msb, stuck_type="sa1",
+                                    seed=num_faults + 1)
+        array = build_faulty_array(true_map)
+        recovered = detect_fault_map(array)
+        coverage = detection_coverage(true_map, recovered)
+        assert coverage["recall"] == pytest.approx(1.0)
+
+
+class TestCoverageMetrics:
+    def test_perfect_detection(self):
+        fm = random_fault_map(8, 8, 5, seed=0)
+        metrics = detection_coverage(fm, fm)
+        assert metrics["recall"] == 1.0 and metrics["precision"] == 1.0
+        assert metrics["missed"] == 0 and metrics["spurious"] == 0
+
+    def test_empty_truth(self):
+        from repro.faults import FaultMap
+
+        metrics = detection_coverage(FaultMap(4, 4), FaultMap(4, 4))
+        assert metrics["recall"] == 1.0 and metrics["precision"] == 1.0
+
+    def test_missed_and_spurious_counts(self):
+        from repro.faults import FaultMap
+
+        truth = FaultMap(4, 4, {(0, 0): StuckAtFault(1), (1, 1): StuckAtFault(1)})
+        found = FaultMap(4, 4, {(0, 0): StuckAtFault(1), (2, 2): StuckAtFault(1)})
+        metrics = detection_coverage(truth, found)
+        assert metrics["recall"] == 0.5
+        assert metrics["precision"] == 0.5
+        assert metrics["missed"] == 1 and metrics["spurious"] == 1

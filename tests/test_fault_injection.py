@@ -1,0 +1,124 @@
+"""Tests for attaching faulty arrays to trained models and the vulnerability sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.datasets import DataLoader
+from repro.faults import (
+    FaultInjector,
+    StuckAtFault,
+    baseline_accuracy,
+    build_faulty_array,
+    evaluate_with_faults,
+    random_fault_map,
+    sweep_array_sizes,
+    sweep_bit_locations,
+    sweep_faulty_pe_count,
+)
+from repro.snn.layers import Conv2d, Linear
+from repro.systolic import DEFAULT_ACCUMULATOR_FORMAT, SystolicArray
+
+FMT = DEFAULT_ACCUMULATOR_FORMAT
+
+
+@pytest.fixture()
+def test_loader(tiny_mnist_data):
+    _, test = tiny_mnist_data
+    return DataLoader(test, batch_size=50)
+
+
+class TestFaultInjector:
+    def test_forwards_restored_after_context(self, trained_tiny_model):
+        layers = [m for m in trained_tiny_model.modules() if isinstance(m, (Conv2d, Linear))]
+        array = SystolicArray(8, 8)
+        with FaultInjector(trained_tiny_model, array):
+            assert all("forward" in layer.__dict__ for layer in layers)
+        assert all("forward" not in layer.__dict__ for layer in layers)
+
+    def test_fault_free_array_preserves_predictions(self, trained_tiny_model, test_loader):
+        inputs, _ = next(iter(test_loader))
+        clean = trained_tiny_model.predict(inputs)
+        array = SystolicArray(16, 16)
+        with FaultInjector(trained_tiny_model, array):
+            faulty = trained_tiny_model.predict(inputs)
+        assert np.array_equal(clean, faulty)
+
+    def test_layer_filter_restricts_rerouting(self, trained_tiny_model):
+        array = SystolicArray(8, 8)
+        injector = FaultInjector(trained_tiny_model, array,
+                                 layer_filter=lambda layer: isinstance(layer, Linear))
+        assert all(isinstance(layer, Linear) for layer in injector._target_layers())
+
+    def test_build_faulty_array_bypass_flag(self):
+        fm = random_fault_map(8, 8, 4, seed=0)
+        plain = build_faulty_array(fm)
+        bypassed = build_faulty_array(fm, bypass=True)
+        assert len(plain.bypassed_coordinates) == 0
+        assert bypassed.bypassed_coordinates == set(fm.coordinates())
+
+
+class TestEvaluateWithFaults:
+    def test_requires_map_or_array(self, trained_tiny_model, test_loader):
+        with pytest.raises(ValueError):
+            evaluate_with_faults(trained_tiny_model, test_loader)
+
+    def test_matches_baseline_without_faults(self, trained_tiny_model, test_loader,
+                                             trained_tiny_model_state):
+        fm = random_fault_map(16, 16, 0, seed=0)
+        acc = evaluate_with_faults(trained_tiny_model, test_loader, fault_map=fm)
+        assert acc == pytest.approx(trained_tiny_model_state["test_accuracy"], abs=0.05)
+
+    def test_msb_faults_degrade_accuracy(self, trained_tiny_model, test_loader):
+        clean = baseline_accuracy(trained_tiny_model, test_loader)
+        fm = random_fault_map(16, 16, 24, bit_position=FMT.magnitude_msb,
+                              stuck_type="sa1", seed=3)
+        faulty = evaluate_with_faults(trained_tiny_model, test_loader, fault_map=fm)
+        assert faulty < clean - 0.2
+
+    def test_bypass_recovers_most_accuracy(self, trained_tiny_model, test_loader):
+        fm = random_fault_map(16, 16, 8, bit_position=FMT.magnitude_msb,
+                              stuck_type="sa1", seed=3)
+        corrupted = evaluate_with_faults(trained_tiny_model, test_loader, fault_map=fm)
+        bypassed = evaluate_with_faults(trained_tiny_model, test_loader, fault_map=fm,
+                                        bypass=True)
+        assert bypassed >= corrupted
+
+    def test_model_mode_restored(self, trained_tiny_model, test_loader):
+        trained_tiny_model.train()
+        fm = random_fault_map(16, 16, 2, seed=1)
+        evaluate_with_faults(trained_tiny_model, test_loader, fault_map=fm)
+        assert trained_tiny_model.training
+
+
+class TestVulnerabilitySweeps:
+    def test_bit_location_sweep_records(self, trained_tiny_model, test_loader):
+        records = sweep_bit_locations(trained_tiny_model, test_loader, rows=16, cols=16,
+                                      bit_positions=(0, FMT.magnitude_msb),
+                                      stuck_types=("sa1",), num_faulty=6, trials=1,
+                                      dataset="mnist", seed=0)
+        assert len(records) == 2
+        by_bit = {r["bit_position"]: r["accuracy"] for r in records}
+        # LSB faults are benign, high-order-bit faults are destructive.
+        assert by_bit[0] > by_bit[FMT.magnitude_msb]
+        assert all(r["dataset"] == "mnist" for r in records)
+
+    def test_pe_count_sweep_monotone_trend(self, trained_tiny_model, test_loader):
+        records = sweep_faulty_pe_count(trained_tiny_model, test_loader, rows=16, cols=16,
+                                        counts=(0, 4, 32), trials=2, seed=0)
+        accuracies = [r["accuracy"] for r in records]
+        assert accuracies[0] >= accuracies[1] >= accuracies[2] - 0.05
+        assert records[0]["num_faulty_pes"] == 0
+        assert records[-1]["fault_rate"] == pytest.approx(32 / 256)
+
+    def test_array_size_sweep_small_arrays_worse(self, trained_tiny_model, test_loader):
+        records = sweep_array_sizes(trained_tiny_model, test_loader, sizes=(4, 32),
+                                    num_faulty=2, trials=2, seed=0)
+        small = next(r for r in records if r["array_size"] == 4)
+        large = next(r for r in records if r["array_size"] == 32)
+        assert small["accuracy"] <= large["accuracy"] + 0.05
+        assert large["total_pes"] == 1024
+
+    def test_array_size_sweep_rejects_impossible(self, trained_tiny_model, test_loader):
+        with pytest.raises(ValueError):
+            sweep_array_sizes(trained_tiny_model, test_loader, sizes=(2,), num_faulty=10)

@@ -1,0 +1,151 @@
+"""Tests for the fixed-point format and bit-level stuck-at manipulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.systolic import DEFAULT_ACCUMULATOR_FORMAT, FixedPointFormat
+
+
+class TestFormatProperties:
+    def test_default_format(self):
+        fmt = DEFAULT_ACCUMULATOR_FORMAT
+        assert fmt.total_bits == 16
+        assert fmt.frac_bits == 8
+        assert fmt.sign_bit == 15
+        assert fmt.magnitude_msb == 14
+
+    def test_ranges(self):
+        fmt = FixedPointFormat(total_bits=8, frac_bits=4)
+        assert fmt.max_code == 127
+        assert fmt.min_code == -128
+        assert fmt.scale == pytest.approx(1.0 / 16)
+        assert fmt.max_value == pytest.approx(127 / 16)
+        assert fmt.int_bits == 3
+
+    def test_invalid_formats(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(total_bits=1, frac_bits=0)
+        with pytest.raises(ValueError):
+            FixedPointFormat(total_bits=8, frac_bits=8)
+        with pytest.raises(ValueError):
+            FixedPointFormat(total_bits=63, frac_bits=8)
+
+    def test_str(self):
+        assert "16 bits" in str(FixedPointFormat(16, 8))
+
+
+class TestQuantisation:
+    def test_roundtrip_exact_values(self):
+        fmt = FixedPointFormat(16, 8)
+        values = np.array([0.0, 1.0, -1.0, 0.5, -0.25, 100.0])
+        assert np.allclose(fmt.quantize(values), values)
+
+    def test_rounding(self):
+        fmt = FixedPointFormat(16, 8)
+        assert fmt.quantize(np.array(0.001)) == pytest.approx(0.0, abs=fmt.scale)
+
+    def test_saturation(self):
+        fmt = FixedPointFormat(8, 4)
+        assert fmt.quantize(np.array(1000.0)) == pytest.approx(fmt.max_value)
+        assert fmt.quantize(np.array(-1000.0)) == pytest.approx(fmt.min_value)
+
+    def test_to_code_from_code_roundtrip(self):
+        fmt = FixedPointFormat(12, 6)
+        codes = np.array([-100, 0, 55, 2000, -2100])
+        clipped = np.clip(codes, fmt.min_code, fmt.max_code)
+        assert np.array_equal(fmt.to_code(fmt.from_code(clipped)), clipped)
+
+
+class TestBitManipulation:
+    def test_get_bit(self):
+        fmt = FixedPointFormat(8, 0)
+        assert fmt.get_bit(np.array([5]), 0) == 1
+        assert fmt.get_bit(np.array([5]), 1) == 0
+        assert fmt.get_bit(np.array([5]), 2) == 1
+
+    def test_get_bit_negative_value(self):
+        fmt = FixedPointFormat(8, 0)
+        # -1 is all ones in two's complement.
+        assert fmt.get_bit(np.array([-1]), 7) == 1
+        assert fmt.get_bit(np.array([-1]), 0) == 1
+
+    def test_set_bit_one(self):
+        fmt = FixedPointFormat(8, 0)
+        assert fmt.set_bit(np.array([0]), 3, 1) == 8
+
+    def test_set_bit_zero(self):
+        fmt = FixedPointFormat(8, 0)
+        assert fmt.set_bit(np.array([15]), 1, 0) == 13
+
+    def test_set_sign_bit_makes_negative(self):
+        fmt = FixedPointFormat(8, 0)
+        assert fmt.set_bit(np.array([0]), 7, 1) == -128
+
+    def test_clear_sign_bit_makes_positive(self):
+        fmt = FixedPointFormat(8, 0)
+        assert fmt.set_bit(np.array([-1]), 7, 0) == 127
+
+    def test_invalid_bit_index(self):
+        fmt = FixedPointFormat(8, 0)
+        with pytest.raises(ValueError):
+            fmt.set_bit(np.array([0]), 8, 1)
+        with pytest.raises(ValueError):
+            fmt.get_bit(np.array([0]), -1)
+
+    def test_invalid_bit_value(self):
+        fmt = FixedPointFormat(8, 0)
+        with pytest.raises(ValueError):
+            fmt.set_bit(np.array([0]), 2, 2)
+
+    def test_apply_stuck_at_high_bit_is_catastrophic(self):
+        fmt = FixedPointFormat(16, 8)
+        small = np.array([0.5])
+        corrupted = fmt.apply_stuck_at(small, fmt.magnitude_msb, 1)
+        assert corrupted[0] >= 63.0  # 2^14 * 2^-8 = 64 added
+
+    def test_apply_stuck_at_lsb_is_benign(self):
+        fmt = FixedPointFormat(16, 8)
+        value = np.array([0.5])
+        corrupted = fmt.apply_stuck_at(value, 0, 1)
+        assert abs(corrupted[0] - value[0]) <= fmt.scale
+
+
+class TestHypothesisProperties:
+    @given(st.lists(st.floats(min_value=-100, max_value=100, allow_nan=False), min_size=1,
+                    max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_quantize_idempotent(self, values):
+        fmt = FixedPointFormat(16, 8)
+        arr = np.array(values)
+        once = fmt.quantize(arr)
+        twice = fmt.quantize(once)
+        assert np.allclose(once, twice)
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100, allow_nan=False), min_size=1,
+                    max_size=20),
+           st.integers(min_value=0, max_value=15), st.integers(min_value=0, max_value=1))
+    @settings(max_examples=50, deadline=None)
+    def test_stuck_at_is_idempotent(self, values, bit, stuck):
+        fmt = FixedPointFormat(16, 8)
+        arr = np.array(values)
+        once = fmt.apply_stuck_at(arr, bit, stuck)
+        twice = fmt.apply_stuck_at(once, bit, stuck)
+        assert np.allclose(once, twice)
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100, allow_nan=False), min_size=1,
+                    max_size=20),
+           st.integers(min_value=0, max_value=15), st.integers(min_value=0, max_value=1))
+    @settings(max_examples=50, deadline=None)
+    def test_stuck_at_forces_bit(self, values, bit, stuck):
+        fmt = FixedPointFormat(16, 8)
+        corrupted_codes = fmt.to_code(fmt.apply_stuck_at(np.array(values), bit, stuck))
+        assert np.all(fmt.get_bit(corrupted_codes, bit) == stuck)
+
+    @given(st.integers(min_value=-128, max_value=127))
+    @settings(max_examples=100, deadline=None)
+    def test_unsigned_signed_roundtrip(self, code):
+        fmt = FixedPointFormat(8, 0)
+        raw = fmt._to_unsigned(np.array([code]))
+        back = fmt._from_unsigned(raw)
+        assert back[0] == code

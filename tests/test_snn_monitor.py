@@ -1,0 +1,90 @@
+"""Tests for spike-activity monitoring (and the membrane-drive story behind FalVolt)."""
+
+import numpy as np
+import pytest
+
+from repro.core import FaultAwarePruning
+from repro.datasets import DataLoader
+from repro.faults import fault_map_from_rate
+from repro.snn import SpikeMonitor, activity_drop, measure_firing_rates
+from repro.systolic import DEFAULT_ACCUMULATOR_FORMAT
+
+from tests.conftest import build_tiny_mnist_model
+
+
+@pytest.fixture()
+def sample_batch(tiny_mnist_data):
+    _, test = tiny_mnist_data
+    return test.inputs[:16]
+
+
+class TestSpikeMonitor:
+    def test_records_all_spiking_layers(self, trained_tiny_model, sample_batch):
+        with SpikeMonitor(trained_tiny_model) as monitor:
+            trained_tiny_model.predict(sample_batch)
+        activities = monitor.activities()
+        # Encoder PLIF + Conv1 + Conv2 + FC1 + FC2.
+        assert len(activities) == 5
+        assert all(a.time_steps > 0 for a in activities)
+        assert monitor.total_spike_count() > 0
+
+    def test_labelled_only(self, trained_tiny_model, sample_batch):
+        with SpikeMonitor(trained_tiny_model, labelled_only=True) as monitor:
+            trained_tiny_model.predict(sample_batch)
+        assert set(monitor.firing_rates()) == {"Conv1", "Conv2", "FC1", "FC2"}
+
+    def test_rates_bounded(self, trained_tiny_model, sample_batch):
+        rates = measure_firing_rates(trained_tiny_model, sample_batch)
+        assert all(0.0 <= r <= 1.0 for r in rates.values())
+
+    def test_monitor_restores_forwards(self, trained_tiny_model, sample_batch):
+        nodes = trained_tiny_model.spiking_layers()
+        with SpikeMonitor(trained_tiny_model):
+            assert all("forward" in node.__dict__ for node in nodes)
+        assert all("forward" not in node.__dict__ for node in nodes)
+
+    def test_training_mode_restored(self, trained_tiny_model, sample_batch):
+        trained_tiny_model.train()
+        measure_firing_rates(trained_tiny_model, sample_batch)
+        assert trained_tiny_model.training
+
+
+class TestActivityDrop:
+    def test_drop_computation(self):
+        before = {"Conv1": 0.2, "FC1": 0.1, "FC2": 0.0}
+        after = {"Conv1": 0.1, "FC1": 0.1, "FC2": 0.0, "extra": 0.5}
+        drops = activity_drop(before, after)
+        assert drops["Conv1"] == pytest.approx(0.5)
+        assert drops["FC1"] == pytest.approx(0.0)
+        assert drops["FC2"] == 0.0
+        assert "extra" not in drops
+
+    def test_missing_layers_skipped(self):
+        assert activity_drop({"Conv1": 0.2}, {}) == {}
+
+    def test_pruning_reduces_firing_rates(self, trained_tiny_model_state, tiny_mnist_data,
+                                          sample_batch):
+        """The mechanism FalVolt exploits: pruning the weights mapped to faulty
+        PEs lowers the membrane drive, so firing rates drop across layers."""
+
+        train, test = tiny_mnist_data
+        train_loader = DataLoader(train, batch_size=12, shuffle=True, seed=1)
+        test_loader = DataLoader(test, batch_size=50)
+
+        healthy, _ = build_tiny_mnist_model()
+        healthy.load_state_dict(trained_tiny_model_state["state"])
+        before = measure_firing_rates(healthy, sample_batch)
+
+        pruned, _ = build_tiny_mnist_model()
+        pruned.load_state_dict(trained_tiny_model_state["state"])
+        fault_map = fault_map_from_rate(
+            16, 16, 0.60, bit_position=DEFAULT_ACCUMULATOR_FORMAT.magnitude_msb,
+            stuck_type="sa1", seed=3)
+        FaultAwarePruning().run(pruned, fault_map, train_loader, test_loader,
+                                num_classes=10,
+                                baseline_accuracy=trained_tiny_model_state["test_accuracy"])
+        after = measure_firing_rates(pruned, sample_batch)
+
+        drops = activity_drop(before, after)
+        # The total activity of the hidden layers shrinks after 60% pruning.
+        assert np.mean(list(drops.values())) > 0.1

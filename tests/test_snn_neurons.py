@@ -1,0 +1,170 @@
+"""Tests for the IF / LIF / PLIF neuron models and threshold handling."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.snn import IFNode, LIFNode, PLIFNode, MIN_THRESHOLD, spiking_nodes
+from repro.snn.layers import Sequential, Linear
+
+
+class TestIFNode:
+    def test_integrates_until_threshold(self):
+        node = IFNode(v_threshold=1.0)
+        x = Tensor(np.array([[0.4]]))
+        spikes = [node(x).data[0, 0] for _ in range(4)]
+        # Membrane: 0.4, 0.8, 1.2 -> spike on the third step.
+        assert spikes[:3] == [0.0, 0.0, 1.0]
+
+    def test_hard_reset_returns_to_v_reset(self):
+        node = IFNode(v_threshold=1.0, v_reset=0.0)
+        x = Tensor(np.array([[1.5]]))
+        node(x)
+        assert node.v.data[0, 0] == pytest.approx(0.0)
+
+    def test_soft_reset_subtracts_threshold(self):
+        node = IFNode(v_threshold=1.0, v_reset=None)
+        x = Tensor(np.array([[1.5]]))
+        node(x)
+        assert node.v.data[0, 0] == pytest.approx(0.5)
+
+    def test_reset_state_clears_membrane(self):
+        node = IFNode()
+        node(Tensor(np.ones((2, 3))))
+        assert node.v is not None
+        node.reset_state()
+        assert node.v is None
+
+    def test_state_reinitialised_on_shape_change(self):
+        node = IFNode()
+        node(Tensor(np.ones((2, 3))))
+        node(Tensor(np.ones((4, 3))))
+        assert node.v.shape == (4, 3)
+
+
+class TestLIFNode:
+    def test_leak_pulls_towards_input(self):
+        node = LIFNode(tau=2.0, v_threshold=10.0)
+        x = Tensor(np.array([[1.0]]))
+        node(x)
+        v1 = node.v.data[0, 0]
+        node(x)
+        v2 = node.v.data[0, 0]
+        assert v1 == pytest.approx(0.5)
+        assert v2 == pytest.approx(0.75)
+
+    def test_invalid_tau(self):
+        with pytest.raises(ValueError):
+            LIFNode(tau=0.5)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            LIFNode(v_threshold=0.0)
+
+
+class TestPLIFNode:
+    def test_initial_tau_matches(self):
+        node = PLIFNode(init_tau=2.0)
+        assert node.tau == pytest.approx(2.0, rel=1e-6)
+
+    def test_invalid_init_tau(self):
+        with pytest.raises(ValueError):
+            PLIFNode(init_tau=1.0)
+
+    def test_tau_parameter_is_learnable(self):
+        node = PLIFNode(init_tau=2.0)
+        x = Tensor(np.full((1, 4), 0.9))
+        out = node(x)
+        out.sum().backward()
+        assert node.w.grad is not None
+
+    def test_charging_uses_sigmoid_tau(self):
+        node = PLIFNode(init_tau=2.0, v_threshold=100.0)
+        node(Tensor(np.array([[1.0]])))
+        assert node.v.data[0, 0] == pytest.approx(0.5, rel=1e-6)
+
+
+class TestThresholdHandling:
+    def test_fixed_threshold_reported(self):
+        node = PLIFNode(v_threshold=0.7)
+        assert node.v_threshold == pytest.approx(0.7)
+        assert not node.learnable_threshold
+
+    def test_set_threshold_fixed(self):
+        node = PLIFNode(v_threshold=1.0)
+        node.set_threshold(0.5)
+        assert node.v_threshold == pytest.approx(0.5)
+
+    def test_set_threshold_rejects_nonpositive(self):
+        node = PLIFNode()
+        with pytest.raises(ValueError):
+            node.set_threshold(0.0)
+
+    def test_make_threshold_learnable_adds_parameter(self):
+        node = PLIFNode(v_threshold=1.0)
+        before = len(node.parameters())
+        node.make_threshold_learnable()
+        assert len(node.parameters()) == before + 1
+        assert node.learnable_threshold
+        assert node.v_threshold == pytest.approx(1.0)
+
+    def test_make_threshold_learnable_with_initial(self):
+        node = PLIFNode(v_threshold=1.0)
+        node.make_threshold_learnable(initial=0.6)
+        assert node.v_threshold == pytest.approx(0.6)
+
+    def test_make_learnable_idempotent(self):
+        node = PLIFNode(learnable_threshold=True)
+        node.make_threshold_learnable(initial=0.8)
+        assert node.v_threshold == pytest.approx(0.8)
+        assert len([p for p in node.parameters()]) == 2  # w and threshold
+
+    def test_freeze_threshold_keeps_value(self):
+        node = PLIFNode(v_threshold=1.0, learnable_threshold=True)
+        node.v_threshold_param.data[...] = 0.55
+        node.freeze_threshold()
+        assert not node.learnable_threshold
+        assert node.v_threshold == pytest.approx(0.55)
+        assert "v_threshold_param" not in dict(node.named_parameters())
+
+    def test_freeze_then_set(self):
+        node = PLIFNode(learnable_threshold=True)
+        node.freeze_threshold()
+        node.set_threshold(0.9)
+        assert node.v_threshold == pytest.approx(0.9)
+
+    def test_threshold_gradient_flows(self):
+        node = PLIFNode(v_threshold=1.0, learnable_threshold=True)
+        x = Tensor(np.full((2, 5), 0.8))
+        out = node(x)
+        out.sum().backward()
+        assert node.v_threshold_param.grad is not None
+        # Raising the threshold can only reduce spiking: gradient of total
+        # spike count w.r.t. V_th must be non-positive.
+        assert node.v_threshold_param.grad <= 0.0
+
+    def test_threshold_floor_applied(self):
+        node = PLIFNode(v_threshold=1.0, learnable_threshold=True)
+        node.v_threshold_param.data[...] = -3.0
+        assert node.v_threshold == pytest.approx(MIN_THRESHOLD)
+
+    def test_lower_threshold_fires_more(self):
+        x = Tensor(np.full((1, 50), 0.5))
+        high = PLIFNode(v_threshold=1.5)
+        low = PLIFNode(v_threshold=0.3)
+        high_count = sum(float(high(x).data.sum()) for _ in range(4))
+        low_count = sum(float(low(x).data.sum()) for _ in range(4))
+        assert low_count > high_count
+
+
+class TestSpikingNodesHelper:
+    def test_finds_nodes_in_container(self):
+        seq = Sequential(Linear(4, 4, rng=np.random.default_rng(0)), PLIFNode(),
+                         Linear(4, 2, rng=np.random.default_rng(1)), LIFNode())
+        nodes = spiking_nodes(seq)
+        assert len(nodes) == 2
+        assert isinstance(nodes[0], PLIFNode)
+
+    def test_layer_labels(self):
+        node = PLIFNode(layer_label="Conv1")
+        assert node.layer_label == "Conv1"

@@ -1,0 +1,63 @@
+"""Tests for the systolic dataflow latency / utilisation model."""
+
+import numpy as np
+import pytest
+
+from repro.systolic import (
+    LayerWorkload,
+    reexecution_overhead,
+    schedule_layer,
+    schedule_network,
+)
+
+
+class TestLayerWorkload:
+    def test_from_linear_weight(self):
+        workload = LayerWorkload.from_weight("fc", np.zeros((32, 96)), vectors=100)
+        assert workload.out_features == 32
+        assert workload.in_features == 96
+
+    def test_from_conv_weight(self):
+        workload = LayerWorkload.from_weight("conv", np.zeros((8, 4, 3, 3)), vectors=10)
+        assert workload.in_features == 36
+
+
+class TestScheduling:
+    def test_single_tile_cycles(self):
+        workload = LayerWorkload("fc", out_features=8, in_features=8, vectors=10)
+        schedule = schedule_layer(workload, rows=8, cols=8)
+        assert schedule.tiles == 1
+        assert schedule.cycles == 8 + 8 - 1 + 10
+        assert schedule.mac_operations == 8 * 8 * 10
+
+    def test_more_tiles_on_smaller_array(self):
+        workload = LayerWorkload("fc", out_features=64, in_features=64, vectors=50)
+        small = schedule_layer(workload, rows=8, cols=8)
+        large = schedule_layer(workload, rows=64, cols=64)
+        assert small.tiles == 64 and large.tiles == 1
+        assert small.cycles > large.cycles
+
+    def test_utilization_bounded(self):
+        workload = LayerWorkload("fc", out_features=4, in_features=4, vectors=2)
+        schedule = schedule_layer(workload, rows=64, cols=64)
+        assert 0.0 <= schedule.utilization <= 1.0
+
+    def test_invalid_array(self):
+        with pytest.raises(ValueError):
+            schedule_layer(LayerWorkload("x", 2, 2, 2), rows=0, cols=4)
+
+    def test_schedule_network_totals(self):
+        workloads = [LayerWorkload("a", 8, 8, 10), LayerWorkload("b", 16, 8, 10)]
+        summary = schedule_network(workloads, rows=8, cols=8)
+        assert summary["total_cycles"] == sum(l.cycles for l in summary["layers"])
+        assert summary["total_macs"] == 8 * 8 * 10 + 16 * 8 * 10
+        assert 0.0 <= summary["average_utilization"] <= 1.0
+
+    def test_empty_network(self):
+        summary = schedule_network([], rows=8, cols=8)
+        assert summary["total_cycles"] == 0
+
+    def test_reexecution_overhead(self):
+        assert reexecution_overhead(100, redundancy=2) == 200
+        with pytest.raises(ValueError):
+            reexecution_overhead(100, redundancy=0)
