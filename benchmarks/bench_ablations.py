@@ -16,6 +16,9 @@ from repro.experiments import (
     ablate_threshold_granularity,
 )
 
+#: Full figure reproduction: trains baselines for every dataset.
+pytestmark = pytest.mark.slow
+
 
 def test_ablation_surrogate_gradient(benchmark):
     config = bench_config("mnist")

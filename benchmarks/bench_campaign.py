@@ -1,0 +1,121 @@
+"""Campaign engine micro-benchmark: batched vs sequential sweep cost.
+
+Runs the same Fig. 5b-style vulnerability sweep (faulty-PE counts x trials)
+through both campaign engines against one trained micro-model and reports:
+
+* per-engine wall-clock cost and the batched speedup,
+* that both engines produce **identical** records (same accuracies, same
+  seeds -- the bit-identity guarantee of the batched path),
+* the on-disk cache: a warm re-run answers from JSON without simulating.
+
+The sweep is evaluated in the streaming regime (small evaluation batches),
+which is where re-running a full inference per fault map pays the most
+per-operation overhead and the batched engine's fold over fault maps pays
+off.  Larger evaluation batches shrink the gap (the arithmetic is identical
+in both engines); the point of the engine is that an entire sweep point --
+or an entire sweep -- costs a handful of folded passes instead of
+``points x trials`` full inferences, plus free re-runs through the cache.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import RESULTS_DIR
+from repro.datasets import DataLoader
+from repro.experiments import ExperimentConfig, format_table, prepare_baseline
+from repro.faults import sweep_faulty_pe_count
+from repro.utils import save_records
+
+#: Micro configuration: trains in seconds, large enough to be above chance.
+CAMPAIGN_CONFIG = ExperimentConfig(
+    dataset="mnist", num_train=120, num_test=50,
+    dataset_kwargs=(("max_shift", 1), ("noise_std", 0.04)),
+    channels=6, hidden_units=32, time_steps=3,
+    batch_size=12, baseline_epochs=8, baseline_lr=2.5e-2,
+    array_rows=32, array_cols=32, seed=13)
+
+COUNTS = (0, 2, 4, 8, 16)
+TRIALS = 8
+EVAL_BATCH = 2  # streaming regime: many small batches per fault map
+
+
+@pytest.fixture(scope="module")
+def campaign_setup():
+    baseline = prepare_baseline(CAMPAIGN_CONFIG)
+    model = baseline.model_factory()
+    loader = DataLoader(baseline.test_loader.dataset, batch_size=EVAL_BATCH)
+    return model, loader
+
+
+def run_sweep(model, loader, engine, cache_dir=None):
+    start = time.perf_counter()
+    records = sweep_faulty_pe_count(
+        model, loader,
+        rows=CAMPAIGN_CONFIG.array_rows, cols=CAMPAIGN_CONFIG.array_cols,
+        counts=COUNTS, trials=TRIALS, seed=CAMPAIGN_CONFIG.seed,
+        dataset="mnist", engine=engine, cache_dir=cache_dir)
+    return records, time.perf_counter() - start
+
+
+def test_bench_campaign_batched_vs_sequential(campaign_setup):
+    model, loader = campaign_setup
+    sequential_records, sequential_time = run_sweep(model, loader, "sequential")
+    batched_records, batched_time = run_sweep(model, loader, "batched")
+    speedup = sequential_time / batched_time
+
+    rows = [{
+        "engine": "sequential", "points": len(COUNTS), "trials": TRIALS,
+        "fault_maps": (len(COUNTS) - 1) * TRIALS, "seconds": sequential_time,
+        "speedup": 1.0,
+    }, {
+        "engine": "batched", "points": len(COUNTS), "trials": TRIALS,
+        "fault_maps": (len(COUNTS) - 1) * TRIALS, "seconds": batched_time,
+        "speedup": speedup,
+    }]
+    table = format_table(rows, columns=["engine", "points", "trials", "fault_maps",
+                                        "seconds", "speedup"],
+                         title="Campaign engine: Fig. 5b sweep cost")
+    print("\n" + table)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / "campaign_engine.txt").write_text(table + "\n", encoding="utf-8")
+    save_records(rows, RESULTS_DIR / "campaign_engine.json")
+
+    # The acceptance property: identical records (same accuracies, same seeds).
+    assert batched_records == sequential_records
+    # The fault-free point reports the software baseline.
+    assert batched_records[0]["num_faulty_pes"] == 0
+    # Wall-clock: the batched engine must be decisively faster in this regime.
+    assert speedup >= 1.5, f"batched speedup only {speedup:.2f}x"
+
+
+def test_bench_campaign_cache_hit(campaign_setup, tmp_path):
+    model, loader = campaign_setup
+    cold_records, cold_time = run_sweep(model, loader, "batched", cache_dir=tmp_path)
+    warm_records, warm_time = run_sweep(model, loader, "batched", cache_dir=tmp_path)
+    speedup = cold_time / max(warm_time, 1e-9)
+    print(f"\ncampaign cache: cold {cold_time:.2f}s, warm {warm_time:.3f}s "
+          f"({speedup:.0f}x)")
+
+    assert warm_records == cold_records
+    assert list(tmp_path.glob("*.json")), "cache directory is empty"
+    # A warm sweep must not re-simulate: >=5x is conservative (typically >50x).
+    assert speedup >= 5.0, f"cache-hit speedup only {speedup:.2f}x"
+
+
+def test_bench_campaign_scaling_with_trials(campaign_setup):
+    """Batched cost grows sublinearly in trials versus the sequential path."""
+
+    model, loader = campaign_setup
+    times = {}
+    for trials in (2, 8):
+        start = time.perf_counter()
+        sweep_faulty_pe_count(
+            model, loader, rows=CAMPAIGN_CONFIG.array_rows,
+            cols=CAMPAIGN_CONFIG.array_cols, counts=(4,), trials=trials,
+            seed=CAMPAIGN_CONFIG.seed, engine="batched")
+        times[trials] = time.perf_counter() - start
+    print(f"\nbatched sweep point: trials=2 {times[2]:.2f}s, trials=8 {times[8]:.2f}s")
+    # 4x the fault maps should cost well under 4x the wall-clock.
+    assert times[8] < 3.5 * times[2]

@@ -11,6 +11,9 @@ import pytest
 from conftest import bench_config, emit, run_once
 from repro.experiments import PAPER_THRESHOLD_GRID, run_fig2_threshold_grid
 
+#: Full figure reproduction: trains baselines for every dataset.
+pytestmark = pytest.mark.slow
+
 #: The paper's Fig. 2 uses the static MNIST and the neuromorphic DVS Gesture sets.
 FIG2_DATASETS = ("mnist", "dvs_gesture")
 

@@ -9,6 +9,10 @@ data bits of the reproduction's accumulator format for all three datasets.
 from conftest import bench_config, emit, run_once
 from repro.experiments import run_fig5a_bit_locations
 from repro.systolic import DEFAULT_ACCUMULATOR_FORMAT
+import pytest
+
+#: Full figure reproduction: trains baselines for every dataset.
+pytestmark = pytest.mark.slow
 
 BIT_POSITIONS = tuple(range(0, DEFAULT_ACCUMULATOR_FORMAT.magnitude_msb + 1, 2))
 

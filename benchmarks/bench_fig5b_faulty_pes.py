@@ -8,6 +8,10 @@ function of the number of faulty PEs, averaged over several fault maps.
 
 from conftest import bench_config, emit, run_once
 from repro.experiments import run_fig5b_faulty_pe_count
+import pytest
+
+#: Full figure reproduction: trains baselines for every dataset.
+pytestmark = pytest.mark.slow
 
 COUNTS = (0, 2, 4, 8, 16, 32, 48, 64)
 

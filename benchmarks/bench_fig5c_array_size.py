@@ -8,6 +8,10 @@ sweeps 4x4 .. 64x64 (its networks are correspondingly smaller).
 
 from conftest import bench_config, emit, run_once
 from repro.experiments import run_fig5c_array_sizes
+import pytest
+
+#: Full figure reproduction: trains baselines for every dataset.
+pytestmark = pytest.mark.slow
 
 SIZES = (4, 8, 16, 32, 64)
 

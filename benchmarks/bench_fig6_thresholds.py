@@ -7,6 +7,10 @@ fully connected layer.  This benchmark prints the same per-layer table.
 
 from conftest import bench_config, emit, run_once
 from repro.experiments import PAPER_FAULT_RATES, run_fig6_optimized_thresholds
+import pytest
+
+#: Full figure reproduction: trains baselines for every dataset.
+pytestmark = pytest.mark.slow
 
 
 def test_fig6_optimized_thresholds(benchmark, dataset_name, dataset_baseline):

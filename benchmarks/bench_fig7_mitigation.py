@@ -8,6 +8,10 @@ recovers the baseline even at 60 % faulty PEs.
 
 from conftest import bench_config, emit, run_once
 from repro.experiments import PAPER_FAULT_RATES, run_fig7_mitigation_comparison
+import pytest
+
+#: Full figure reproduction: trains baselines for every dataset.
+pytestmark = pytest.mark.slow
 
 
 def test_fig7_mitigation_comparison(benchmark, dataset_name, dataset_baseline):

@@ -8,6 +8,10 @@ methods under the same fault map and reports the epochs-to-baseline ratio.
 
 from conftest import bench_config, emit, run_once
 from repro.experiments import convergence_speedup, run_fig8_convergence
+import pytest
+
+#: Full figure reproduction: trains baselines for every dataset.
+pytestmark = pytest.mark.slow
 
 
 def test_fig8_convergence(benchmark, dataset_name, dataset_baseline):

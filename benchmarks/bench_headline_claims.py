@@ -8,6 +8,10 @@ MNIST configuration and prints a paper-vs-measured verdict table.
 
 from conftest import bench_config, emit, run_once
 from repro.experiments import run_headline_claims
+import pytest
+
+#: Full figure reproduction: trains baselines for every dataset.
+pytestmark = pytest.mark.slow
 
 
 def test_headline_claims(benchmark):

@@ -8,13 +8,20 @@ regenerated from the shell::
     python -m repro run fig5b --dataset dvs_gesture --out fig5b.json
     python -m repro info                      # package / configuration summary
 
-The CLI is a thin layer over :mod:`repro.experiments`; anything it can do is
-also available programmatically.
+Fault-injection campaigns run directly on the campaign engine::
+
+    python -m repro campaign counts --counts 0,4,8,16 --trials 8
+    python -m repro campaign bits --bits 0,4,8,14 --engine sequential
+    python -m repro campaign sizes --sizes 8,16,32 --workers 4 --cache-dir .cache
+
+The CLI is a thin layer over :mod:`repro.experiments` and
+:mod:`repro.faults`; anything it can do is also available programmatically.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from typing import List, Optional, Sequence
 
@@ -53,8 +60,44 @@ def build_parser() -> argparse.ArgumentParser:
                             help="override the preset seed")
     run_parser.add_argument("--out", default=None,
                             help="optional JSON path for the raw records")
+    _add_engine_arguments(run_parser)
     run_parser.set_defaults(handler=_cmd_run)
+
+    campaign_parser = subparsers.add_parser(
+        "campaign", help="run a fault-injection sweep on the campaign engine")
+    campaign_parser.add_argument("sweep", choices=("bits", "counts", "sizes"),
+                                 help="grid axis: bit positions, faulty-PE counts "
+                                      "or array sizes (Fig. 5a/5b/5c)")
+    campaign_parser.add_argument("--dataset", choices=PAPER_DATASETS, default="mnist")
+    campaign_parser.add_argument("--scale", choices=sorted(SCALES), default="small")
+    campaign_parser.add_argument("--seed", type=int, default=None)
+    campaign_parser.add_argument("--bits", type=_int_list, default=None,
+                                 help="comma-separated bit positions (bits sweep)")
+    campaign_parser.add_argument("--counts", type=_int_list, default=None,
+                                 help="comma-separated faulty-PE counts (counts sweep)")
+    campaign_parser.add_argument("--sizes", type=_int_list, default=None,
+                                 help="comma-separated array sizes (sizes sweep)")
+    campaign_parser.add_argument("--trials", type=int, default=4,
+                                 help="fault maps per grid point")
+    campaign_parser.add_argument("--stuck", choices=("sa0", "sa1"), default="sa1")
+    campaign_parser.add_argument("--out", default=None,
+                                 help="optional JSON path for the raw records")
+    _add_engine_arguments(campaign_parser)
+    campaign_parser.set_defaults(handler=_cmd_campaign)
     return parser
+
+
+def _int_list(text: str) -> List[int]:
+    return [int(part) for part in text.split(",") if part.strip()]
+
+
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--engine", choices=("batched", "sequential"), default="batched",
+                        help="campaign execution engine (records are identical)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for cross-point parallelism")
+    parser.add_argument("--cache-dir", default=None,
+                        help="directory for on-disk result caching")
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -89,6 +132,15 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _engine_kwargs_for(runner, args: argparse.Namespace) -> dict:
+    """Engine options accepted by ``runner`` (not every experiment sweeps)."""
+
+    accepted = inspect.signature(runner).parameters
+    options = {"engine": args.engine, "workers": args.workers,
+               "cache_dir": args.cache_dir}
+    return {key: value for key, value in options.items() if key in accepted}
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = get_experiment(args.experiment)
     overrides = {}
@@ -97,9 +149,61 @@ def _cmd_run(args: argparse.Namespace) -> int:
     config = default_config(args.dataset, scale=args.scale, **overrides)
     print(f"running {spec.experiment_id} ({spec.paper_artifact}) on {args.dataset} "
           f"[{args.scale} scale]")
-    records = spec.runner(config)
+    records = spec.runner(config, **_engine_kwargs_for(spec.runner, args))
     if records and isinstance(records, list) and isinstance(records[0], dict):
         print(format_table(records, title=f"{spec.experiment_id} records"))
+    if args.out:
+        save_records(records, args.out)
+        print(f"records saved to {args.out}")
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from .experiments import prepare_baseline
+    from .faults import sweep_array_sizes, sweep_bit_locations, sweep_faulty_pe_count
+    from .systolic import DEFAULT_ACCUMULATOR_FORMAT
+    from .utils.rng import derive_seed
+
+    overrides = {}
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    config = default_config(args.dataset, scale=args.scale, **overrides)
+    baseline = prepare_baseline(config)
+    model = baseline.model_factory()
+    engine_options = dict(engine=args.engine, workers=args.workers,
+                          cache_dir=args.cache_dir)
+    print(f"campaign '{args.sweep}' on {args.dataset} [{args.scale} scale, "
+          f"{args.engine} engine, workers={args.workers}]")
+
+    if args.sweep == "bits":
+        top = DEFAULT_ACCUMULATOR_FORMAT.magnitude_msb
+        bits = args.bits if args.bits is not None else sorted(set(range(0, top + 1, 2)) | {top})
+        records = sweep_bit_locations(
+            model, baseline.test_loader,
+            rows=config.array_rows, cols=config.array_cols,
+            bit_positions=bits, trials=args.trials, stuck_types=(args.stuck,),
+            dataset=config.dataset, seed=derive_seed(config.seed, "fig5a"),
+            **engine_options)
+        columns = ["dataset", "stuck_type", "bit_position", "accuracy", "accuracy_std"]
+    elif args.sweep == "counts":
+        counts = args.counts if args.counts is not None else [0, 2, 4, 8, 16]
+        records = sweep_faulty_pe_count(
+            model, baseline.test_loader,
+            rows=config.array_rows, cols=config.array_cols,
+            counts=counts, trials=args.trials, stuck_type=args.stuck,
+            dataset=config.dataset, seed=derive_seed(config.seed, "fig5b"),
+            **engine_options)
+        columns = ["dataset", "num_faulty_pes", "fault_rate", "accuracy", "accuracy_std"]
+    else:
+        sizes = args.sizes if args.sizes is not None else [4, 8, 16, 32]
+        records = sweep_array_sizes(
+            model, baseline.test_loader,
+            sizes=sizes, num_faulty=4, trials=args.trials, stuck_type=args.stuck,
+            dataset=config.dataset, seed=derive_seed(config.seed, "fig5c"),
+            **engine_options)
+        columns = ["dataset", "array_size", "num_faulty_pes", "accuracy", "accuracy_std"]
+
+    print(format_table(records, columns=columns, title=f"campaign {args.sweep} records"))
     if args.out:
         save_records(records, args.out)
         print(f"records saved to {args.out}")

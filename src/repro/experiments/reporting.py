@@ -45,8 +45,10 @@ def format_series(records: Sequence[dict], x: str, y: str,
 
     records = list(records)
     lines = [title] if title else []
-    if group_by is None:
-        groups: Dict[str, List[dict]] = {"": records}
+    if not records:
+        groups: Dict[str, List[dict]] = {}
+    elif group_by is None:
+        groups = {"": records}
     else:
         groups = {}
         for record in records:

@@ -13,7 +13,14 @@ from .fault_map import (
     random_fault_map,
     single_bit_fault_map,
 )
-from .injection import FaultInjector, build_faulty_array, evaluate_with_faults
+from .injection import (
+    BatchedFaultInjector,
+    FaultInjector,
+    build_faulty_array,
+    evaluate_with_faults,
+    evaluate_with_faults_batched,
+)
+from .campaign import CampaignPoint, CampaignRunner, cached_record, map_grid
 from .analysis import (
     baseline_accuracy,
     sweep_array_sizes,
@@ -41,9 +48,15 @@ __all__ = [
     "fault_maps_for_trials",
     "random_fault_map",
     "single_bit_fault_map",
+    "BatchedFaultInjector",
     "FaultInjector",
     "build_faulty_array",
     "evaluate_with_faults",
+    "evaluate_with_faults_batched",
+    "CampaignPoint",
+    "CampaignRunner",
+    "map_grid",
+    "cached_record",
     "baseline_accuracy",
     "sweep_array_sizes",
     "sweep_bit_locations",

@@ -12,6 +12,14 @@ Three sweeps are provided, one per panel of the paper's Fig. 5:
 Each sweep returns a list of plain-dict records so the experiment harness
 and the benchmarks can print them as tables or series without further
 processing.
+
+All three sweeps are thin wrappers over the
+:class:`~repro.faults.campaign.CampaignRunner`: the grid is expressed as
+:class:`~repro.faults.campaign.CampaignPoint` objects (with the same
+deterministic seed derivation the sweeps have always used) and executed by
+the selected engine.  The default ``"batched"`` engine simulates all of a
+point's fault maps in one vectorised pass and produces records bit-identical
+to the ``"sequential"`` reference.
 """
 
 from __future__ import annotations
@@ -22,9 +30,8 @@ import numpy as np
 
 from ..systolic.fixed_point import DEFAULT_ACCUMULATOR_FORMAT, FixedPointFormat
 from ..utils.rng import derive_seed
-from .fault_map import fault_maps_for_trials, single_bit_fault_map
+from .campaign import CampaignPoint, CampaignRunner
 from .fault_model import StuckAtType
-from .injection import evaluate_with_faults
 
 
 def baseline_accuracy(model, loader) -> float:
@@ -47,6 +54,12 @@ def baseline_accuracy(model, loader) -> float:
     return correct / total if total else 0.0
 
 
+def _make_runner(model, loader, fmt: FixedPointFormat, engine: str,
+                 workers: int, cache_dir) -> CampaignRunner:
+    return CampaignRunner(model, loader, fmt=fmt, engine=engine,
+                          workers=workers, cache_dir=cache_dir)
+
+
 def sweep_bit_locations(model, loader, *,
                         rows: int, cols: int,
                         bit_positions: Sequence[int],
@@ -55,7 +68,10 @@ def sweep_bit_locations(model, loader, *,
                         trials: int = 2,
                         fmt: FixedPointFormat = DEFAULT_ACCUMULATOR_FORMAT,
                         dataset: str = "",
-                        seed: int = 0) -> List[dict]:
+                        seed: int = 0,
+                        engine: str = "batched",
+                        workers: int = 1,
+                        cache_dir=None) -> List[dict]:
     """Accuracy versus fault bit location and polarity (Fig. 5a).
 
     For each (bit position, stuck-at polarity) pair, ``trials`` random fault
@@ -63,27 +79,28 @@ def sweep_bit_locations(model, loader, *,
     under unmitigated fault injection is recorded.
     """
 
-    records: List[dict] = []
+    runner = _make_runner(model, loader, fmt, engine, workers, cache_dir)
+    points: List[CampaignPoint] = []
     for stuck in stuck_types:
         stuck = StuckAtType.from_value(stuck)
         for bit in bit_positions:
-            accuracies = []
-            for trial in range(trials):
-                trial_seed = derive_seed(seed, "bit_sweep", stuck.value, bit, trial)
-                fault_map = single_bit_fault_map(rows, cols, num_faulty, bit_position=bit,
-                                                 stuck_type=stuck, seed=trial_seed)
-                accuracies.append(evaluate_with_faults(model, loader, fault_map=fault_map,
-                                                       fmt=fmt))
-            records.append({
-                "dataset": dataset,
-                "stuck_type": stuck.short_name,
-                "bit_position": int(bit),
-                "num_faulty_pes": int(num_faulty),
-                "trials": int(trials),
-                "accuracy": float(np.mean(accuracies)),
-                "accuracy_std": float(np.std(accuracies)),
-            })
-    return records
+            map_seeds = tuple(
+                derive_seed(seed, "bit_sweep", stuck.value, bit, trial)
+                for trial in range(trials))
+            points.append(CampaignPoint(
+                rows=rows, cols=cols, num_faulty=num_faulty, map_seeds=map_seeds,
+                bit_position=int(bit), stuck_type=stuck.short_name,
+                label="bit_sweep", dataset=dataset))
+    results = runner.run(points)
+    return [{
+        "dataset": dataset,
+        "stuck_type": result["stuck_type"],
+        "bit_position": int(result["bit_position"]),
+        "num_faulty_pes": int(result["num_faulty"]),
+        "trials": int(result["trials"]),
+        "accuracy": result["accuracy"],
+        "accuracy_std": result["accuracy_std"],
+    } for result in results]
 
 
 def sweep_faulty_pe_count(model, loader, *,
@@ -94,7 +111,10 @@ def sweep_faulty_pe_count(model, loader, *,
                           stuck_type: Union[StuckAtType, int, str] = "sa1",
                           fmt: FixedPointFormat = DEFAULT_ACCUMULATOR_FORMAT,
                           dataset: str = "",
-                          seed: int = 0) -> List[dict]:
+                          seed: int = 0,
+                          engine: str = "batched",
+                          workers: int = 1,
+                          cache_dir=None) -> List[dict]:
     """Accuracy versus number of faulty PEs (Fig. 5b).
 
     Faults are injected in the higher-order accumulator bits (worst case), and
@@ -102,9 +122,18 @@ def sweep_faulty_pe_count(model, loader, *,
     paper's methodology (8 iterations per experiment).
     """
 
-    clean = baseline_accuracy(model, loader)
     if bit_position is None:
         bit_position = fmt.magnitude_msb
+    runner = _make_runner(model, loader, fmt, engine, workers, cache_dir)
+    points = [
+        CampaignPoint.for_trials(
+            rows, cols, count, trials,
+            bit_position=bit_position, stuck_type=stuck_type,
+            seed=derive_seed(seed, "pe_count", count),
+            label="pe_count", dataset=dataset)
+        for count in counts if count != 0
+    ]
+    results = iter(runner.run(points))
     records: List[dict] = []
     for count in counts:
         if count == 0:
@@ -113,21 +142,18 @@ def sweep_faulty_pe_count(model, loader, *,
                 "num_faulty_pes": 0,
                 "fault_rate": 0.0,
                 "trials": int(trials),
-                "accuracy": float(clean),
+                "accuracy": float(runner.baseline_accuracy()),
                 "accuracy_std": 0.0,
             })
             continue
-        maps = fault_maps_for_trials(rows, cols, count, trials,
-                                     bit_position=bit_position, stuck_type=stuck_type,
-                                     fmt=fmt, seed=derive_seed(seed, "pe_count", count))
-        accuracies = [evaluate_with_faults(model, loader, fault_map=m, fmt=fmt) for m in maps]
+        result = next(results)
         records.append({
             "dataset": dataset,
             "num_faulty_pes": int(count),
             "fault_rate": count / (rows * cols),
             "trials": int(trials),
-            "accuracy": float(np.mean(accuracies)),
-            "accuracy_std": float(np.std(accuracies)),
+            "accuracy": result["accuracy"],
+            "accuracy_std": result["accuracy_std"],
         })
     return records
 
@@ -140,7 +166,10 @@ def sweep_array_sizes(model, loader, *,
                       stuck_type: Union[StuckAtType, int, str] = "sa1",
                       fmt: FixedPointFormat = DEFAULT_ACCUMULATOR_FORMAT,
                       dataset: str = "",
-                      seed: int = 0) -> List[dict]:
+                      seed: int = 0,
+                      engine: str = "batched",
+                      workers: int = 1,
+                      cache_dir=None) -> List[dict]:
     """Accuracy versus systolic array size at a fixed number of faulty PEs (Fig. 5c).
 
     Smaller arrays are reused more heavily (more weights per PE), so the same
@@ -149,21 +178,25 @@ def sweep_array_sizes(model, loader, *,
 
     if bit_position is None:
         bit_position = fmt.magnitude_msb
-    records: List[dict] = []
     for size in sizes:
         if num_faulty > size * size:
             raise ValueError(f"cannot place {num_faulty} faults in a {size}x{size} array")
-        maps = fault_maps_for_trials(size, size, num_faulty, trials,
-                                     bit_position=bit_position, stuck_type=stuck_type,
-                                     fmt=fmt, seed=derive_seed(seed, "array_size", size))
-        accuracies = [evaluate_with_faults(model, loader, fault_map=m, fmt=fmt) for m in maps]
-        records.append({
-            "dataset": dataset,
-            "array_size": int(size),
-            "total_pes": int(size * size),
-            "num_faulty_pes": int(num_faulty),
-            "trials": int(trials),
-            "accuracy": float(np.mean(accuracies)),
-            "accuracy_std": float(np.std(accuracies)),
-        })
-    return records
+    runner = _make_runner(model, loader, fmt, engine, workers, cache_dir)
+    points = [
+        CampaignPoint.for_trials(
+            size, size, num_faulty, trials,
+            bit_position=bit_position, stuck_type=stuck_type,
+            seed=derive_seed(seed, "array_size", size),
+            label="array_size", dataset=dataset)
+        for size in sizes
+    ]
+    results = runner.run(points)
+    return [{
+        "dataset": dataset,
+        "array_size": int(size),
+        "total_pes": int(size * size),
+        "num_faulty_pes": int(num_faulty),
+        "trials": int(trials),
+        "accuracy": result["accuracy"],
+        "accuracy_std": result["accuracy_std"],
+    } for size, result in zip(sizes, results)]

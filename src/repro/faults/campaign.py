@@ -1,0 +1,430 @@
+"""Batched fault-injection campaign engine.
+
+The paper's headline results (Fig. 5 vulnerability sweeps, Fig. 7 mitigation
+comparison) are *campaigns*: the same trained SNN evaluated under dozens of
+fault maps x bit positions x trials.  This module turns that grid into an
+explicit object model:
+
+* :class:`CampaignPoint` -- one grid point: array geometry, fault count, bit
+  position, stuck-at polarity and the exact per-trial fault-map seeds (derived
+  deterministically via :func:`repro.utils.rng.derive_seed`, which is stable
+  across processes).
+* :class:`CampaignRunner` -- evaluates points against a trained model.  The
+  default ``"batched"`` engine simulates all of a point's fault maps in one
+  vectorised pass (see :func:`repro.faults.injection.evaluate_with_faults_batched`),
+  so a whole sweep point costs roughly one inference; the ``"sequential"``
+  engine is the slow reference oracle and produces bit-identical records.
+  Results are cached on disk as JSON keyed by (model hash, data hash, grid
+  point); a cache hit skips the simulation entirely.  An optional
+  ``multiprocessing`` fork pool parallelises across sweep points.
+
+The Fig. 5 sweep drivers in :mod:`repro.faults.analysis` and the experiment
+runners in :mod:`repro.experiments` are thin wrappers over this engine.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import multiprocessing
+import os
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..systolic.fixed_point import DEFAULT_ACCUMULATOR_FORMAT, FixedPointFormat
+from ..utils.rng import get_rng
+from ..utils.serialization import load_records, save_records
+from .fault_map import FaultMap, random_fault_map
+from .fault_model import StuckAtType
+from .injection import evaluate_with_faults, evaluate_with_faults_batched
+
+#: Execution engines understood by :class:`CampaignRunner`.
+ENGINES = ("batched", "sequential")
+
+#: Cache layout version; bump when record contents change incompatibly.
+_CACHE_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Grid points
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class CampaignPoint:
+    """One point of a fault-injection sweep grid.
+
+    ``map_seeds`` pins one seed per trial; together with the geometry and
+    fault parameters it fully determines the fault maps, so a point is both
+    reproducible and cacheable.
+    """
+
+    rows: int
+    cols: int
+    num_faulty: int
+    map_seeds: Tuple[int, ...]
+    bit_position: Optional[int] = None
+    stuck_type: str = "sa1"
+    label: str = ""
+    dataset: str = ""
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ValueError("array dimensions must be positive")
+        if self.num_faulty < 0:
+            raise ValueError("num_faulty must be non-negative")
+        if self.num_faulty > self.rows * self.cols:
+            raise ValueError(
+                f"cannot place {self.num_faulty} faults in a "
+                f"{self.rows}x{self.cols} array")
+        if not self.map_seeds:
+            raise ValueError("map_seeds must contain at least one trial seed")
+        object.__setattr__(self, "map_seeds", tuple(int(s) for s in self.map_seeds))
+        object.__setattr__(self, "stuck_type",
+                           StuckAtType.from_value(self.stuck_type).short_name)
+
+    @property
+    def trials(self) -> int:
+        return len(self.map_seeds)
+
+    @classmethod
+    def for_trials(cls, rows: int, cols: int, num_faulty: int, trials: int, *,
+                   bit_position: Optional[int] = None,
+                   stuck_type: Union[StuckAtType, int, str] = "sa1",
+                   seed=None, label: str = "", dataset: str = "") -> "CampaignPoint":
+        """Expand one base seed into per-trial map seeds.
+
+        The expansion matches :func:`repro.faults.fault_map.fault_maps_for_trials`
+        exactly, so campaign records line up with the historical sweep output.
+        """
+
+        if trials <= 0:
+            raise ValueError("trials must be positive")
+        base = get_rng(seed)
+        seeds = tuple(int(s) for s in base.integers(0, 2**63 - 1, size=trials))
+        return cls(rows=rows, cols=cols, num_faulty=num_faulty, map_seeds=seeds,
+                   bit_position=bit_position,
+                   stuck_type=StuckAtType.from_value(stuck_type).short_name,
+                   label=label, dataset=dataset)
+
+    def build_fault_maps(self, fmt: FixedPointFormat = DEFAULT_ACCUMULATOR_FORMAT
+                         ) -> List[FaultMap]:
+        """Materialise the point's fault maps (one per trial seed)."""
+
+        return [
+            random_fault_map(self.rows, self.cols, self.num_faulty,
+                             bit_position=self.bit_position,
+                             stuck_type=self.stuck_type, fmt=fmt, seed=seed)
+            for seed in self.map_seeds
+        ]
+
+    def as_payload(self) -> dict:
+        """JSON-stable representation used in records and cache keys."""
+
+        return {
+            "rows": int(self.rows),
+            "cols": int(self.cols),
+            "num_faulty": int(self.num_faulty),
+            "map_seeds": [int(s) for s in self.map_seeds],
+            "bit_position": None if self.bit_position is None else int(self.bit_position),
+            "stuck_type": self.stuck_type,
+            "label": self.label,
+            "dataset": self.dataset,
+        }
+
+
+# ----------------------------------------------------------------------
+# Hashing / caching / pooling helpers (shared with the experiment drivers)
+# ----------------------------------------------------------------------
+def state_token(state: Dict[str, np.ndarray]) -> str:
+    """Stable digest of a model state dict (name, shape, dtype and bytes)."""
+
+    digest = hashlib.sha256()
+    for name in sorted(state):
+        value = np.ascontiguousarray(state[name])
+        digest.update(name.encode("utf-8"))
+        digest.update(str(value.shape).encode("utf-8"))
+        digest.update(str(value.dtype).encode("utf-8"))
+        digest.update(value.tobytes())
+    return digest.hexdigest()
+
+
+def model_token(model) -> str:
+    """Stable digest of a model's parameters and buffers."""
+
+    return state_token(model.state_dict())
+
+
+def loader_token(loader) -> str:
+    """Stable digest of a data loader's dataset (inputs, labels, batching)."""
+
+    dataset = loader.dataset
+    digest = hashlib.sha256()
+    inputs = np.ascontiguousarray(dataset.inputs)
+    labels = np.ascontiguousarray(dataset.labels)
+    digest.update(str(inputs.shape).encode("utf-8"))
+    digest.update(inputs.tobytes())
+    digest.update(labels.tobytes())
+    digest.update(str(loader.batch_size).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def _digest_payload(payload: dict) -> str:
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True, default=str).encode("utf-8")).hexdigest()
+
+
+def _store_record(record, path: Path) -> None:
+    """Write a cache record atomically (temp file + rename).
+
+    An interrupted run must never leave a truncated JSON behind: a partial
+    file would satisfy the existence check and crash every later lookup.
+    """
+
+    path.parent.mkdir(parents=True, exist_ok=True)
+    temporary = path.with_name(path.name + f".tmp{os.getpid()}")
+    save_records(record, temporary)
+    os.replace(temporary, path)
+
+
+def cached_record(cache_dir: Optional[Union[str, Path]], payload: dict,
+                  compute: Callable[[], dict]) -> dict:
+    """Return the cached record for ``payload``, computing and storing on miss.
+
+    ``payload`` must be a JSON-stable dict uniquely identifying the work
+    (model hash, grid point, seeds, ...).  Records are stored as pretty JSON
+    via :mod:`repro.utils.serialization`, one file per key, so caches can be
+    inspected and diffed by hand.
+    """
+
+    if cache_dir is None:
+        return compute()
+    path = Path(cache_dir) / f"{_digest_payload(payload)}.json"
+    if path.exists():
+        return load_records(path)
+    record = compute()
+    _store_record(record, path)
+    return record
+
+
+#: Callable handed to fork-pool workers via copy-on-write memory (not pickled).
+_POOL_FN: Optional[Callable] = None
+
+
+def _pool_call(item):
+    return _POOL_FN(item)
+
+
+def map_grid(fn: Callable, items: Sequence, workers: int = 1) -> list:
+    """Apply ``fn`` to every item, optionally in a ``fork`` worker pool.
+
+    Cross-point parallelism for sweep grids: each item is independent, so a
+    fork pool maps the grid across ``workers`` processes.  ``fn`` (which may
+    close over a trained model and dataset) is installed in a module global
+    *before* the fork, so children inherit it through copy-on-write memory
+    and only the lightweight items travel through the task pipe.  Falls back
+    to the serial path when ``workers <= 1``, when there is nothing to
+    parallelise, or on platforms without the ``fork`` start method.
+    """
+
+    items = list(items)
+    if workers and workers > 1 and len(items) > 1:
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            context = None
+        if context is not None:
+            global _POOL_FN
+            _POOL_FN = fn
+            try:
+                with context.Pool(min(int(workers), len(items))) as pool:
+                    return pool.map(_pool_call, items)
+            finally:
+                _POOL_FN = None
+    return [fn(item) for item in items]
+
+
+# ----------------------------------------------------------------------
+# Runner
+# ----------------------------------------------------------------------
+class CampaignRunner:
+    """Evaluate fault-injection sweep grids against one trained model.
+
+    Parameters
+    ----------
+    model:
+        Trained :class:`~repro.snn.network.SpikingClassifier`.
+    loader:
+        Evaluation data loader (accuracy is measured over all its batches).
+    fmt:
+        Accumulator fixed-point format of the simulated arrays.
+    engine:
+        ``"batched"`` (default) simulates all of a point's fault maps in one
+        vectorised pass; ``"sequential"`` runs one full inference per map.
+        Both produce bit-identical records.
+    bypass:
+        Enable the bypass multiplexer of faulty PEs (mitigated hardware).
+    cache_dir:
+        Optional directory for on-disk JSON result caching.  Keys include the
+        model hash, the data hash and the full grid point, so stale hits are
+        impossible as long as those inputs define the result.
+    workers:
+        Worker processes for cross-point parallelism (1 = serial).
+    max_batched_maps:
+        Upper bound on how many fault maps one merged batched pass may fold
+        into the batch axis (memory knob; points are never split).
+    """
+
+    def __init__(self, model, loader, *,
+                 fmt: FixedPointFormat = DEFAULT_ACCUMULATOR_FORMAT,
+                 engine: str = "batched",
+                 bypass: bool = False,
+                 cache_dir: Optional[Union[str, Path]] = None,
+                 workers: int = 1,
+                 max_batched_maps: int = 128) -> None:
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine '{engine}'; options: {ENGINES}")
+        self.model = model
+        self.loader = loader
+        self.fmt = fmt
+        self.engine = engine
+        self.bypass = bool(bypass)
+        self.cache_dir = None if cache_dir is None else Path(cache_dir)
+        self.workers = int(workers)
+        self.max_batched_maps = int(max_batched_maps)
+        self._model_token = model_token(model)
+        self._data_token = loader_token(loader)
+        self._baseline: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def baseline_accuracy(self) -> float:
+        """Fault-free accuracy through the software forward path (cached)."""
+
+        if self._baseline is None:
+            from .analysis import baseline_accuracy
+            self._baseline = baseline_accuracy(self.model, self.loader)
+        return self._baseline
+
+    def _cache_payload(self, point: CampaignPoint) -> dict:
+        return {
+            "version": _CACHE_VERSION,
+            "model": self._model_token,
+            "data": self._data_token,
+            "fmt": [self.fmt.total_bits, self.fmt.frac_bits],
+            "bypass": self.bypass,
+            "point": point.as_payload(),
+        }
+
+    def _record_for(self, point: CampaignPoint, accuracies: Sequence[float]) -> dict:
+        record = point.as_payload()
+        record.update({
+            "trials": point.trials,
+            "accuracies": [float(a) for a in accuracies],
+            "accuracy": float(np.mean(accuracies)),
+            "accuracy_std": float(np.std(accuracies)),
+        })
+        return record
+
+    def _evaluate_point(self, point: CampaignPoint) -> dict:
+        """Simulate one grid point (no cache) and return its record."""
+
+        maps = point.build_fault_maps(self.fmt)
+        if self.engine == "batched":
+            accuracies = evaluate_with_faults_batched(
+                self.model, self.loader, fault_maps=maps,
+                bypass=self.bypass, fmt=self.fmt)
+        else:
+            accuracies = [
+                evaluate_with_faults(self.model, self.loader, fault_map=fault_map,
+                                     bypass=self.bypass, fmt=self.fmt)
+                for fault_map in maps
+            ]
+        return self._record_for(point, accuracies)
+
+    def _evaluate_points_merged(self, points: Sequence[CampaignPoint]) -> List[dict]:
+        """Batched evaluation of several points in as few passes as possible.
+
+        Points sharing an array geometry are merged: all their fault maps are
+        folded into one multi-map pass (up to ``max_batched_maps`` at a
+        time), so an entire sweep costs a handful of inferences.  Each map's
+        result is independent of its fold neighbours, so the per-point
+        records equal the point-at-a-time ones.
+        """
+
+        results: List[Optional[dict]] = [None] * len(points)
+        groups: Dict[Tuple[int, int], List[int]] = {}
+        for index, point in enumerate(points):
+            groups.setdefault((point.rows, point.cols), []).append(index)
+
+        for indices in groups.values():
+            chunk: List[Tuple[int, list]] = []
+            chunk_maps = 0
+
+            def flush():
+                nonlocal chunk, chunk_maps
+                if not chunk:
+                    return
+                merged = [fault_map for _, maps in chunk for fault_map in maps]
+                accuracies = evaluate_with_faults_batched(
+                    self.model, self.loader, fault_maps=merged,
+                    bypass=self.bypass, fmt=self.fmt)
+                offset = 0
+                for index, maps in chunk:
+                    results[index] = self._record_for(
+                        points[index], accuracies[offset:offset + len(maps)])
+                    offset += len(maps)
+                chunk = []
+                chunk_maps = 0
+
+            for index in indices:
+                maps = points[index].build_fault_maps(self.fmt)
+                if chunk_maps and chunk_maps + len(maps) > self.max_batched_maps:
+                    flush()
+                chunk.append((index, maps))
+                chunk_maps += len(maps)
+            flush()
+        return [record for record in results if record is not None]
+
+    def evaluate_point(self, point: CampaignPoint) -> dict:
+        """Record for one grid point, going through the cache."""
+
+        return cached_record(self.cache_dir, self._cache_payload(point),
+                             lambda: self._evaluate_point(point))
+
+    def run(self, points: Sequence[CampaignPoint]) -> List[dict]:
+        """Records for all ``points``, in input order.
+
+        Cached points are answered from disk; the remainder is computed,
+        optionally across a fork worker pool, and written back to the cache
+        by the parent process (workers never touch the cache, so there are
+        no write races).
+        """
+
+        points = list(points)
+        records: List[Optional[dict]] = [None] * len(points)
+        missing: List[int] = []
+        if self.cache_dir is not None:
+            for index, point in enumerate(points):
+                payload = self._cache_payload(point)
+                path = self.cache_dir / f"{_digest_payload(payload)}.json"
+                if path.exists():
+                    records[index] = load_records(path)
+                else:
+                    missing.append(index)
+        else:
+            missing = list(range(len(points)))
+
+        if missing:
+            missing_points = [points[i] for i in missing]
+            if self.engine == "batched" and self.workers <= 1:
+                computed = self._evaluate_points_merged(missing_points)
+            else:
+                computed = map_grid(self._evaluate_point, missing_points,
+                                    workers=self.workers)
+            for index, record in zip(missing, computed):
+                records[index] = record
+                if self.cache_dir is not None:
+                    payload = self._cache_payload(points[index])
+                    _store_record(record, self.cache_dir / f"{_digest_payload(payload)}.json")
+        return [record for record in records if record is not None]

@@ -6,19 +6,32 @@ through a (possibly faulty) :class:`~repro.systolic.array.SystolicArray`, so
 that the accuracy measured afterwards reflects the accelerator's stuck-at
 faults -- the tool-flow of the paper's Fig. 4 ("fault injection" followed by
 "fault mapping to systolic array").
+
+Two execution modes are provided:
+
+* :class:`FaultInjector` / :func:`evaluate_with_faults` -- the sequential
+  reference: one fault map per forward pass.
+* :class:`BatchedFaultInjector` / :func:`evaluate_with_faults_batched` --
+  the campaign mode: the input batch is tiled ``F`` times and ONE forward
+  pass is routed through all ``F`` arrays of a
+  :class:`~repro.systolic.array.BatchedSystolicArray` at once (the fault-map
+  axis is folded into the batch axis between layers).  Every non-affine
+  layer is elementwise over the batch, so per-map accuracies are
+  bit-identical to ``F`` sequential passes while amortising the Python and
+  dispatch overhead of the whole network across the fault maps.
 """
 
 from __future__ import annotations
 
 import contextlib
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..autograd import Tensor, no_grad
 from ..snn.layers import Conv2d, Linear
 from ..snn.network import SpikingClassifier
-from ..systolic.array import SystolicArray
+from ..systolic.array import BatchedSystolicArray, SystolicArray
 from ..systolic.fixed_point import DEFAULT_ACCUMULATOR_FORMAT, FixedPointFormat
 from .fault_map import FaultMap
 
@@ -82,6 +95,82 @@ class FaultInjector(contextlib.AbstractContextManager):
         self._original_forwards = []
 
 
+class BatchedFaultInjector(contextlib.AbstractContextManager):
+    """Run a model's affine layers on ``F`` fault maps in one forward pass.
+
+    The model is driven with ordinary (untiled) batches.  The first
+    re-routed layer is the *fan-out* point: its inputs are identical for
+    every fault map, so the clean product is computed once and replicated
+    before the per-map fault corruption, and its output carries the fault
+    maps folded into the batch axis (map-major: slice ``f * B:(f + 1) * B``
+    belongs to map ``f``).  Every later re-routed layer unfolds that axis,
+    executes the batched array path, and folds it back, so the layers in
+    between never notice the extra axis.
+
+    Use only in evaluation mode: batch normalisation in training mode would
+    compute statistics across the folded fault-map axis and break the
+    per-map equivalence with the sequential path.
+    """
+
+    def __init__(self, model: SpikingClassifier, array: BatchedSystolicArray,
+                 layer_filter=None) -> None:
+        self.model = model
+        self.array = array
+        self.layer_filter = layer_filter or (lambda layer: True)
+        self._original_forwards: List[Tuple[object, callable]] = []
+
+    def _target_layers(self) -> List[object]:
+        layers = [m for m in self.model.modules() if isinstance(m, (Conv2d, Linear))]
+        return [layer for layer in layers if self.layer_filter(layer)]
+
+    def _make_batched_forward(self, layer, fan_out: bool):
+        array = self.array
+        num_maps = array.num_maps
+        # The masked chain weight stacks depend only on the weights and the
+        # fault structure, so they are built once per layer for the whole
+        # evaluation (all batches and time steps).
+        prepared = array.prepare_weight(layer.weight.data)
+
+        def unfold(data: np.ndarray) -> np.ndarray:
+            if fan_out:
+                # Shared activations: matmul_batched/conv2d_batched replicate
+                # the clean product across the maps themselves.
+                return data
+            if data.shape[0] % num_maps:
+                raise ValueError(
+                    f"batch size {data.shape[0]} is not divisible by the "
+                    f"{num_maps} fault maps; was the fan-out layer skipped?")
+            return data.reshape((num_maps, data.shape[0] // num_maps) + data.shape[1:])
+
+        if isinstance(layer, Conv2d):
+            def forward(x: Tensor) -> Tensor:
+                bias = layer.bias.data if layer.bias is not None else None
+                result = array.conv2d_batched(layer.weight.data, unfold(x.data), bias=bias,
+                                              stride=layer.stride, padding=layer.padding,
+                                              prepared=prepared)
+                return Tensor(result.reshape((-1,) + result.shape[2:]))
+        else:
+            def forward(x: Tensor) -> Tensor:
+                bias = layer.bias.data if layer.bias is not None else None
+                result = array.matmul_batched(layer.weight.data, unfold(x.data), bias=bias,
+                                              prepared=prepared)
+                return Tensor(result.reshape((-1,) + result.shape[2:]))
+        return forward
+
+    def __enter__(self) -> "BatchedFaultInjector":
+        for index, layer in enumerate(self._target_layers()):
+            self._original_forwards.append((layer, layer.forward))
+            object.__setattr__(layer, "forward",
+                               self._make_batched_forward(layer, fan_out=index == 0))
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        for layer, _original in self._original_forwards:
+            if "forward" in layer.__dict__:
+                object.__delattr__(layer, "forward")
+        self._original_forwards = []
+
+
 def build_faulty_array(fault_map: FaultMap,
                        fmt: FixedPointFormat = DEFAULT_ACCUMULATOR_FORMAT,
                        bypass: bool = False) -> SystolicArray:
@@ -129,3 +218,48 @@ def evaluate_with_faults(model: SpikingClassifier, loader,
     finally:
         model.train(was_training)
     return correct / total if total else 0.0
+
+
+def evaluate_with_faults_batched(model: SpikingClassifier, loader,
+                                 fault_maps: Optional[Sequence[FaultMap]] = None,
+                                 array: Optional[BatchedSystolicArray] = None,
+                                 bypass: bool = False,
+                                 fmt: FixedPointFormat = DEFAULT_ACCUMULATOR_FORMAT
+                                 ) -> List[float]:
+    """Per-fault-map accuracies of ``model`` on ``loader``, in one pass.
+
+    The whole sweep point -- all ``F`` fault maps -- costs roughly one
+    (``F``-times wider) inference instead of ``F`` full inferences.  The
+    returned list matches ``[evaluate_with_faults(model, loader, fault_map=m)
+    for m in fault_maps]`` exactly.
+    """
+
+    if array is None:
+        if not fault_maps:
+            raise ValueError("either fault_maps or array must be provided")
+        array = BatchedSystolicArray.from_fault_maps(fault_maps, fmt=fmt, bypass=bypass)
+    num_maps = array.num_maps
+
+    was_training = model.training
+    model.eval()
+    correct = np.zeros(num_maps, dtype=np.int64)
+    total = 0
+    try:
+        with BatchedFaultInjector(model, array) as injector, no_grad():
+            fans_out = bool(injector._original_forwards)
+            for inputs, labels in loader:
+                rates = model(Tensor(inputs))
+                batch = labels.shape[0]
+                if fans_out:
+                    predictions = np.argmax(rates.data.reshape(num_maps, batch, -1), axis=2)
+                    correct += np.sum(predictions == labels[None, :], axis=1)
+                else:
+                    # No layer was re-routed: every map sees the software path.
+                    predictions = np.argmax(rates.data, axis=1)
+                    correct += int(np.sum(predictions == labels))
+                total += batch
+    finally:
+        model.train(was_training)
+    if not total:
+        return [0.0] * num_maps
+    return [int(c) / total for c in correct]

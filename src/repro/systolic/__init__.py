@@ -15,7 +15,7 @@ from .mapping import (
     pe_coordinates,
     tile_counts,
 )
-from .array import FaultSite, SystolicArray
+from .array import BatchedSystolicArray, FaultSite, SystolicArray, matmul_batched
 from .scheduler import (
     LayerSchedule,
     LayerWorkload,
@@ -35,8 +35,10 @@ __all__ = [
     "faulty_weight_mask",
     "pe_coordinates",
     "tile_counts",
+    "BatchedSystolicArray",
     "FaultSite",
     "SystolicArray",
+    "matmul_batched",
     "LayerSchedule",
     "LayerWorkload",
     "reexecution_overhead",

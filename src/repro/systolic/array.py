@@ -16,6 +16,18 @@ weight-stationary systolic array performs when a spiking layer is executed:
   catastrophic accuracy drops in the paper's Fig. 5.
 * A *bypassed* PE (mitigated design, Fig. 3b) forwards the incoming partial
   sum unchanged: its weight contribution is skipped and its fault is masked.
+
+Two execution paths are provided:
+
+* :meth:`SystolicArray.matmul` -- the sequential reference oracle: one array,
+  one fault map, one matmul.
+* :class:`BatchedSystolicArray` / :func:`matmul_batched` -- the campaign
+  path: ``F`` fault maps are simulated in a single vectorised pass by
+  stacking the prefix-sum fault chains of every (map, column) pair along a
+  leading axis instead of re-running the tile loop once per map.  The
+  arithmetic is ordered exactly as in the sequential path, so per-map
+  results are **bit-identical** to ``F`` separate :meth:`SystolicArray.matmul`
+  calls (a property the equivalence tests assert).
 """
 
 from __future__ import annotations
@@ -193,56 +205,63 @@ class SystolicArray:
 
     def _faulty_matmul(self, weight: np.ndarray, inputs: np.ndarray,
                        faults_by_col: Dict[int, List[FaultSite]]) -> np.ndarray:
-        """Tile-by-tile matmul applying stuck-at corruption inside column chains."""
+        """Matmul applying stuck-at corruption inside column accumulation chains.
+
+        Fault-free columns are untouched by the fault model, so the output
+        starts as one dense matmul and only the faulty columns are replaced
+        by their corrupted chain values.  Inside a chain, the partial sum
+        entering a fault site equals the dense product of the segment
+        accumulated since the previous fault, so each (tile, column) chain is
+        ``k + 1`` segment matmuls with the stuck-at bit forced at every
+        breakpoint -- the prefix-sum fault model without materialising
+        per-row products.
+        """
 
         out_features, in_features = weight.shape
-        batch = inputs.shape[0]
         rows, cols = self.rows, self.cols
         tiles_in, _ = tile_counts(weight.shape, rows, cols)
-        output = np.zeros((batch, out_features))
+        output = inputs @ weight.T
 
-        # Column index of every output feature (constant across input tiles).
         out_cols = np.arange(out_features) % cols
-        faulty_cols = sorted(faults_by_col)
-        clean_out_mask = ~np.isin(out_cols, faulty_cols)
-
-        for tile in range(tiles_in):
-            lo = tile * rows
-            hi = min(lo + rows, in_features)
-            w_tile = weight[:, lo:hi]           # (out, tile_rows)
-            x_tile = inputs[:, lo:hi]           # (batch, tile_rows)
-            tile_rows = hi - lo
-
-            # Fault-free columns: plain matmul.
-            if clean_out_mask.any():
-                output[:, clean_out_mask] += x_tile @ w_tile[clean_out_mask].T
-
-            # Faulty columns: walk the accumulation chain with corruption.
-            for col in faulty_cols:
-                out_idx = np.nonzero(out_cols == col)[0]
-                if out_idx.size == 0:
-                    continue
-                # Contribution of each row of the chain: (batch, n_out, tile_rows)
-                products = x_tile[:, None, :] * w_tile[out_idx][None, :, :]
-                prefix = np.cumsum(products, axis=2)
-                total = prefix[:, :, -1] if tile_rows else np.zeros((batch, out_idx.size))
-
-                acc = np.zeros((batch, out_idx.size))
-                prev_prefix = np.zeros((batch, out_idx.size))
+        for col in sorted(faults_by_col):
+            out_idx = np.nonzero(out_cols == col)[0]
+            if out_idx.size == 0:
+                continue
+            sites = faults_by_col[col]
+            col_out = np.zeros((inputs.shape[0], out_idx.size))
+            for tile in range(tiles_in):
+                lo = tile * rows
+                hi = min(lo + rows, in_features)
+                tile_rows = hi - lo
+                x_tile = inputs[:, lo:hi]        # (batch, tile_rows)
+                w_sel = weight[out_idx, lo:hi]   # (n_out, tile_rows)
+                acc = np.zeros_like(col_out)
+                start = 0
                 applied_any = False
-                for site in faults_by_col[col]:
+                for site in sites:
                     if site.row >= tile_rows:
                         continue
-                    upto = prefix[:, :, site.row]
-                    acc = acc + (upto - prev_prefix)
+                    stop = site.row + 1
+                    # Segment selected by zeroing the complement: every
+                    # segment product keeps the full (batch, tile_rows) GEMM
+                    # geometry, so the batched engine can evaluate stacked
+                    # chains with one matmul and stay bit-identical.
+                    w_segment = np.zeros((tile_rows, out_idx.size))
+                    w_segment[start:stop] = w_sel[:, start:stop].T
+                    acc = acc + x_tile @ w_segment
                     acc = site.fault.apply(acc, self.fmt)
-                    prev_prefix = upto
+                    start = stop
                     applied_any = True
+                w_segment = np.zeros((tile_rows, out_idx.size))
+                w_segment[start:] = w_sel[:, start:].T
                 if applied_any:
-                    acc = acc + (total - prev_prefix)
-                    output[:, out_idx] += acc
+                    col_out += acc + x_tile @ w_segment
                 else:
-                    output[:, out_idx] += total
+                    # No fault fell inside this tile: the tail covers the
+                    # whole tile.  A contiguous copy (not a transposed view)
+                    # keeps the GEMM layout identical to the batched stacks.
+                    col_out += x_tile @ w_segment
+            output[:, out_idx] = col_out
         return output
 
     # ------------------------------------------------------------------
@@ -269,3 +288,474 @@ class SystolicArray:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"SystolicArray({self.rows}x{self.cols}, faults={len(self._fault_sites)}, "
                 f"bypassed={len(self._bypassed)})")
+
+
+# ----------------------------------------------------------------------
+# Batched multi-fault-map simulation
+# ----------------------------------------------------------------------
+#: Soft cap on the number of float64 elements a single stacked chain block may
+#: allocate (products tensor of shape (chains, batch, n_out, tile_rows)).
+#: Blocks larger than this are processed in chunks.
+_CHAIN_BLOCK_ELEMENTS = 4_000_000
+
+
+@dataclasses.dataclass
+class _FaultChain:
+    """One (fault map, array column) accumulation chain with >= 1 active fault."""
+
+    map_index: int
+    out_idx: np.ndarray     # output features living in this column
+    rows: np.ndarray        # fault rows, sorted ascending
+    bits: np.ndarray        # bit position per fault
+    stuck: np.ndarray       # stuck value (0/1) per fault
+
+
+@dataclasses.dataclass
+class _ChainTable:
+    """A group of chains sharing one ``n_out`` (outputs per column) value.
+
+    Grouping by ``n_out`` keeps every stacked GEMM free of padding columns,
+    so each slice has exactly the geometry of its sequential counterpart.
+    """
+
+    chains: List[_FaultChain]
+    map_ids: np.ndarray     # (chains,) fault-map index per chain
+    rows2d: np.ndarray      # (chains, max_sites) fault rows, padded with 0
+    bits2d: np.ndarray      # (chains, max_sites) bit positions, padded with 0
+    stuck2d: np.ndarray     # (chains, max_sites) stuck values, padded with 0
+    n_out: int
+
+
+@dataclasses.dataclass
+class _ChainTilePlan:
+    """Input-independent per-tile chain data: masked segment/tail weights."""
+
+    lo: int
+    hi: int
+    n_sites: np.ndarray             # (chains,) active sites in this tile
+    level_stacks: List[np.ndarray]  # per level: (chains, tile_rows, n_out)
+    tail_stack: np.ndarray          # (chains, tile_rows, n_out)
+
+
+@dataclasses.dataclass
+class _ChainPlan:
+    """One chain group's precomputed weight stacks across all tiles."""
+
+    table: _ChainTable
+    tiles: List[_ChainTilePlan]
+
+
+@dataclasses.dataclass
+class _PreparedWeight:
+    """Output of :meth:`BatchedSystolicArray.prepare_weight`."""
+
+    weight_matrix: np.ndarray               # float64 (out, in)
+    stacked_weights: Optional[np.ndarray]   # (F, in, out) when bypass differs per map
+    chain_plans: List[_ChainPlan]
+
+
+class BatchedSystolicArray:
+    """``F`` same-sized systolic arrays executed in one vectorised pass.
+
+    The batched pass reproduces, per fault map, the exact arithmetic of the
+    sequential :meth:`SystolicArray.matmul` path: the dense product of every
+    map is computed by one stacked matmul (numpy performs the same 2D GEMM
+    per slice, so each slice is bit-identical to the standalone product), and
+    the fault chains of all maps -- one per (map, faulty column) pair -- are
+    stacked along a leading chain axis and corrupted together.  Per-map
+    results therefore match ``F`` separate :meth:`SystolicArray.matmul` calls
+    exactly, which is the property the campaign engine relies on when it
+    swaps one execution path for the other.
+
+    Fault and bypass state is *snapshotted at construction*: later mutations
+    of the underlying :class:`SystolicArray` objects are not reflected.
+
+    Parameters
+    ----------
+    arrays:
+        The per-fault-map arrays.  All must share grid dimensions and
+        accumulator format.
+    """
+
+    def __init__(self, arrays: Sequence[SystolicArray]) -> None:
+        arrays = list(arrays)
+        if not arrays:
+            raise ValueError("BatchedSystolicArray needs at least one array")
+        first = arrays[0]
+        for array in arrays[1:]:
+            if (array.rows, array.cols) != (first.rows, first.cols):
+                raise ValueError("all arrays must share the same grid dimensions")
+            if array.fmt != first.fmt:
+                raise ValueError("all arrays must share the same accumulator format")
+        self.arrays = arrays
+        self.rows = first.rows
+        self.cols = first.cols
+        self.fmt = first.fmt
+        # Immutable snapshot of each map's active (non-bypassed) faults.
+        self._faults_by_col = [array._active_faults_by_column() for array in arrays]
+        self._bypassed = [array.bypassed_coordinates for array in arrays]
+        self._any_bypass = any(self._bypassed)
+        self._any_faults = any(self._faults_by_col)
+        # Shape-keyed caches of the static chain structure.
+        self._out_idx_cache: Dict[int, List[np.ndarray]] = {}
+        self._chain_cache: Dict[int, Optional[_ChainTable]] = {}
+        self._site_count_cache: Dict[Tuple[int, int], Tuple[np.ndarray, np.ndarray]] = {}
+        self._bypass_mask_cache: Dict[Tuple[int, Tuple[int, int]], Optional[np.ndarray]] = {}
+
+    @classmethod
+    def from_fault_maps(cls, fault_maps: Sequence[object],
+                        fmt: FixedPointFormat = DEFAULT_ACCUMULATOR_FORMAT,
+                        bypass: bool = False) -> "BatchedSystolicArray":
+        """Build one array per fault map (optionally with bypass enabled)."""
+
+        arrays = []
+        for fault_map in fault_maps:
+            array = SystolicArray(fault_map.rows, fault_map.cols, fmt=fmt)
+            array.load_fault_map(fault_map)
+            if bypass:
+                array.bypass_faulty_pes()
+            arrays.append(array)
+        return cls(arrays)
+
+    @property
+    def num_maps(self) -> int:
+        return len(self.arrays)
+
+    # ------------------------------------------------------------------
+    # Static structure caches
+    # ------------------------------------------------------------------
+    def _out_indices_by_column(self, out_features: int) -> List[np.ndarray]:
+        """Output feature indices per array column (cached per out_features)."""
+
+        cached = self._out_idx_cache.get(out_features)
+        if cached is None:
+            out_cols = np.arange(out_features) % self.cols
+            cached = [np.nonzero(out_cols == col)[0] for col in range(self.cols)]
+            self._out_idx_cache[out_features] = cached
+        return cached
+
+    def _chain_tables(self, out_features: int) -> List[_ChainTable]:
+        """All maps' fault chains for a layer, grouped by outputs-per-column."""
+
+        if out_features in self._chain_cache:
+            return self._chain_cache[out_features]
+        out_idx_by_col = self._out_indices_by_column(out_features)
+        chains: List[_FaultChain] = []
+        for map_index, faults_by_col in enumerate(self._faults_by_col):
+            for col in sorted(faults_by_col):
+                out_idx = out_idx_by_col[col]
+                if out_idx.size == 0:
+                    continue
+                sites = faults_by_col[col]
+                chains.append(_FaultChain(
+                    map_index=map_index,
+                    out_idx=out_idx,
+                    rows=np.array([site.row for site in sites], dtype=np.int64),
+                    bits=np.array([site.fault.bit_position for site in sites],
+                                  dtype=np.int64),
+                    stuck=np.array([site.fault.stuck_value for site in sites],
+                                   dtype=np.int64),
+                ))
+        tables: List[_ChainTable] = []
+        for n_out in sorted({chain.out_idx.size for chain in chains}):
+            group = [chain for chain in chains if chain.out_idx.size == n_out]
+            max_sites = max(chain.rows.size for chain in group)
+            rows2d = np.zeros((len(group), max_sites), dtype=np.int64)
+            bits2d = np.zeros_like(rows2d)
+            stuck2d = np.zeros_like(rows2d)
+            for c, chain in enumerate(group):
+                rows2d[c, :chain.rows.size] = chain.rows
+                bits2d[c, :chain.rows.size] = chain.bits
+                stuck2d[c, :chain.rows.size] = chain.stuck
+            tables.append(_ChainTable(
+                chains=group,
+                map_ids=np.array([chain.map_index for chain in group], dtype=np.int64),
+                rows2d=rows2d, bits2d=bits2d, stuck2d=stuck2d, n_out=n_out))
+        self._chain_cache[out_features] = tables
+        return tables
+
+    def _site_counts(self, out_features: int, in_features: int
+                     ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Per-group (full-tile, last-tile) active-site counts per chain.
+
+        A site is active in a tile when its row index falls inside the tile
+        (mirrors the sequential skip of ``site.row >= tile_rows``); only the
+        last, possibly partial, tile can exclude sites.
+        """
+
+        key = (out_features, in_features)
+        cached = self._site_count_cache.get(key)
+        if cached is None:
+            last_rows = in_features - ((in_features - 1) // self.rows) * self.rows
+            cached = []
+            for table in self._chain_tables(out_features):
+                full = np.array([chain.rows.size for chain in table.chains],
+                                dtype=np.int64)
+                last = np.array([int(np.sum(chain.rows < last_rows))
+                                 for chain in table.chains], dtype=np.int64)
+                cached.append((full, last))
+            self._site_count_cache[key] = cached
+        return cached
+
+    def _bypass_mask(self, map_index: int, shape: Tuple[int, int]) -> Optional[np.ndarray]:
+        """Bypassed-weight mask of one map for a given 2D weight shape (cached)."""
+
+        key = (map_index, shape)
+        if key not in self._bypass_mask_cache:
+            if not self._bypassed[map_index]:
+                mask = None
+            else:
+                from .mapping import faulty_weight_mask
+
+                mask = faulty_weight_mask(self._bypassed[map_index], shape,
+                                          self.rows, self.cols)
+            self._bypass_mask_cache[key] = mask
+        return self._bypass_mask_cache[key]
+
+    # ------------------------------------------------------------------
+    # Weight preparation
+    # ------------------------------------------------------------------
+    def prepare_weight(self, weight: np.ndarray) -> "_PreparedWeight":
+        """Precompute everything about ``weight`` the batched pass reuses.
+
+        The masked segment/tail weight stacks of every chain are functions of
+        the weight and the fault structure only -- not of the activations --
+        so an evaluation that calls the same layer repeatedly (time steps x
+        batches) can build them once.  Returns an opaque handle accepted by
+        :meth:`matmul_batched` / :meth:`conv2d_batched`.
+        """
+
+        weight_matrix = as_weight_matrix(weight).astype(np.float64)
+        out_features, in_features = weight_matrix.shape
+
+        if self._any_bypass:
+            effective_weights = []
+            for index in range(self.num_maps):
+                mask = self._bypass_mask(index, weight_matrix.shape)
+                effective_weights.append(
+                    weight_matrix if mask is None else np.where(mask, 0.0, weight_matrix))
+            # Kept as a transposed view: the GEMM's B operand must have the
+            # same memory order as the sequential ``inputs @ w.T`` for the
+            # per-slice results to be bit-identical.
+            stacked_weights = np.stack(effective_weights).transpose(0, 2, 1)
+        else:
+            effective_weights = None
+            stacked_weights = None
+
+        chain_plans: List[_ChainPlan] = []
+        if self._any_faults:
+            counts = self._site_counts(out_features, in_features)
+            tiles_in = int(np.ceil(in_features / self.rows))
+            for table, (full_counts, last_counts) in zip(self._chain_tables(out_features),
+                                                         counts):
+                w_rows = [
+                    (weight_matrix if effective_weights is None
+                     else effective_weights[chain.map_index])[chain.out_idx]
+                    for chain in table.chains
+                ]
+                n_chains = len(table.chains)
+                tiles = []
+                for tile in range(tiles_in):
+                    lo = tile * self.rows
+                    hi = min(lo + self.rows, in_features)
+                    tile_rows = hi - lo
+                    n_sites = full_counts if tile < tiles_in - 1 else last_counts
+                    max_sites = int(n_sites.max(initial=0))
+                    starts = np.zeros(n_chains, dtype=np.int64)
+                    level_stacks = []
+                    for level in range(max_sites):
+                        w_stack = np.zeros((n_chains, tile_rows, table.n_out))
+                        for c in np.flatnonzero(level < n_sites):
+                            stop = int(table.rows2d[c, level]) + 1
+                            w_stack[c, starts[c]:stop] = \
+                                w_rows[c][:, lo + starts[c]:lo + stop].T
+                            starts[c] = stop
+                        level_stacks.append(w_stack)
+                    tail_stack = np.zeros((n_chains, tile_rows, table.n_out))
+                    for c in range(n_chains):
+                        tail_stack[c, starts[c]:] = w_rows[c][:, lo + starts[c]:hi].T
+                    tiles.append(_ChainTilePlan(lo, hi, n_sites, level_stacks, tail_stack))
+                chain_plans.append(_ChainPlan(table, tiles))
+
+        return _PreparedWeight(weight_matrix, stacked_weights, chain_plans)
+
+    # ------------------------------------------------------------------
+    # Batched linear algebra
+    # ------------------------------------------------------------------
+    def matmul_batched(self, weight: np.ndarray, inputs: np.ndarray,
+                       bias: Optional[np.ndarray] = None,
+                       prepared: Optional["_PreparedWeight"] = None) -> np.ndarray:
+        """Per-map ``inputs[f] @ weight.T + bias`` under each map's faults.
+
+        Parameters
+        ----------
+        weight:
+            Shared layer weight, shape ``(out_features, in_features)`` (or 4D
+            convolutional, reshaped internally).
+        inputs:
+            Either ``(batch, in_features)`` (the same activations presented
+            to every map) or ``(F, batch, in_features)`` with one activation
+            set per map (the usual case after the first faulty layer).
+        prepared:
+            Optional handle from :meth:`prepare_weight` for ``weight``; built
+            on the fly when omitted.
+
+        Returns
+        -------
+        ``(F, batch, out_features)`` with ``result[f]`` bit-identical to
+        ``self.arrays[f].matmul(weight, inputs[f], bias)``.
+        """
+
+        if prepared is None:
+            prepared = self.prepare_weight(weight)
+        weight_matrix = prepared.weight_matrix
+        inputs = np.asarray(inputs, dtype=np.float64)
+        num_maps = self.num_maps
+        shared_inputs = inputs.ndim == 2
+        if shared_inputs:
+            inputs = np.broadcast_to(inputs, (num_maps,) + inputs.shape)
+        if inputs.ndim != 3 or inputs.shape[0] != num_maps:
+            raise ValueError(
+                f"inputs must be (batch, in) or ({num_maps}, batch, in), got {inputs.shape}")
+        out_features, in_features = weight_matrix.shape
+        if inputs.shape[2] != in_features:
+            raise ValueError(
+                f"input feature mismatch: weight expects {in_features}, got {inputs.shape[2]}")
+
+        if prepared.stacked_weights is not None:
+            # Per-map effective weights (bypassed PEs contribute zero).
+            output = np.matmul(inputs, prepared.stacked_weights)
+        elif shared_inputs:
+            # Identical activations for every map (the fan-out layer of an
+            # evaluation): every sequential run performs this exact 2D GEMM,
+            # so computing it once and replicating is bit-identical.
+            shared = inputs[0] @ weight_matrix.T
+            output = np.repeat(shared[np.newaxis], num_maps, axis=0)
+        else:
+            output = np.matmul(inputs, weight_matrix.T)
+
+        for plan in prepared.chain_plans:
+            self._apply_chain_plan(plan, inputs, output, shared_inputs)
+
+        if bias is not None:
+            output = output + np.asarray(bias, dtype=np.float64)
+        return output
+
+    def conv2d_batched(self, weight: np.ndarray, x: np.ndarray,
+                       bias: Optional[np.ndarray] = None,
+                       stride: int = 1, padding: int = 0,
+                       prepared: Optional["_PreparedWeight"] = None) -> np.ndarray:
+        """Per-map convolution; ``x`` is ``(batch, C, H, W)`` or ``(F, batch, C, H, W)``.
+
+        Returns ``(F, batch, out_channels, H_out, W_out)`` with each map's
+        slice bit-identical to the sequential :meth:`SystolicArray.conv2d`.
+        """
+
+        weight = np.asarray(weight, dtype=np.float64)
+        x = np.asarray(x, dtype=np.float64)
+        num_maps = self.num_maps
+        out_channels, in_channels, kh, kw = weight.shape
+        if x.ndim == 4:
+            # Shared activations: one im2col, and matmul_batched's shared-input
+            # path computes the clean product once for all maps.
+            batch = x.shape[0]
+            cols = im2col(x, (kh, kw), stride, padding)
+            _, out_h, out_w, k = cols.shape
+            flat_inputs = cols.reshape(batch * out_h * out_w, k)
+        elif x.ndim == 5 and x.shape[0] == num_maps:
+            batch = x.shape[1]
+            # One im2col over the folded (F * batch) axis; the transform is a
+            # pure gather, so each map's slice equals its standalone im2col.
+            cols = im2col(x.reshape((num_maps * batch,) + x.shape[2:]),
+                          (kh, kw), stride, padding)
+            _, out_h, out_w, k = cols.shape
+            flat_inputs = cols.reshape(num_maps, batch * out_h * out_w, k)
+        else:
+            raise ValueError(
+                f"x must be (batch, C, H, W) or ({num_maps}, batch, C, H, W), got {x.shape}")
+        flat_out = self.matmul_batched(weight.reshape(out_channels, -1), flat_inputs,
+                                       bias=bias, prepared=prepared)
+        return (flat_out.reshape(num_maps, batch, out_h, out_w, out_channels)
+                .transpose(0, 1, 4, 2, 3))
+
+    # ------------------------------------------------------------------
+    def _apply_chain_plan(self, plan: "_ChainPlan", inputs: np.ndarray,
+                          output: np.ndarray, shared_inputs: bool) -> None:
+        """Replace the faulty columns of ``output`` with their chain values.
+
+        Each chain segment is a full-tile-width GEMM against a weight whose
+        complement rows are zeroed (exactly the sequential formulation), so
+        one stacked matmul evaluates the current segment of every chain at
+        once, and the stuck-at bit forcing at each breakpoint level is also
+        applied to all chains together.  Both steps preserve per-chain
+        bit-identity with :meth:`SystolicArray._faulty_matmul`.
+        """
+
+        table = plan.table
+        batch = inputs.shape[1]
+        n_chains = len(table.chains)
+        n_out = table.n_out
+
+        # Chunk the chain axis so the gathered (chains, batch, tile_rows)
+        # stacks stay bounded for wide (e.g. folded convolution) batches.
+        block = max(1, _CHAIN_BLOCK_ELEMENTS // max(1, batch * max(self.rows, n_out)))
+        for start in range(0, n_chains, block):
+            chunk = slice(start, min(start + block, n_chains))
+            size = chunk.stop - chunk.start
+            col_out = np.zeros((size, batch, n_out))
+            for tile in plan.tiles:
+                if shared_inputs:
+                    # A 2D x broadcasts across the weight stack: numpy performs
+                    # the same per-slice GEMM, bit-identical to the gathered form.
+                    x_stack = inputs[0][:, tile.lo:tile.hi]
+                else:
+                    x_stack = inputs[table.map_ids[chunk], :, tile.lo:tile.hi]
+                n_sites = tile.n_sites[chunk]
+                acc = np.zeros((size, batch, n_out))
+                for level, w_stack in enumerate(tile.level_stacks):
+                    active = level < n_sites
+                    if not active.any():
+                        continue
+                    segment = np.matmul(x_stack, w_stack[chunk])
+                    candidate = self._apply_stuck_block(acc + segment,
+                                                        table.bits2d[chunk, level],
+                                                        table.stuck2d[chunk, level])
+                    acc = np.where(active[:, None, None], candidate, acc)
+                tails = np.matmul(x_stack, tile.tail_stack[chunk])
+                applied = (n_sites > 0)[:, None, None]
+                col_out += np.where(applied, acc + tails, tails)
+
+            for c in range(chunk.start, chunk.stop):
+                chain = table.chains[c]
+                output[chain.map_index][:, chain.out_idx] = col_out[c - chunk.start]
+
+    def _apply_stuck_block(self, values: np.ndarray, bits: np.ndarray,
+                           stuck: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`FixedPointFormat.apply_stuck_at` with per-chain bits.
+
+        Performs the same elementwise quantise / force-bit / dequantise steps
+        as the scalar path, broadcasting the (per-chain) bit position and
+        polarity over the trailing axes.
+        """
+
+        fmt = self.fmt
+        codes = fmt.to_code(values)
+        word_mask = (1 << fmt.total_bits) - 1
+        raw = codes & word_mask
+        bit_mask = np.left_shift(np.int64(1), bits)[:, None, None]
+        forced = np.where((stuck == 1)[:, None, None], raw | bit_mask, raw & ~bit_mask)
+        sign_mask = 1 << (fmt.total_bits - 1)
+        full = 1 << fmt.total_bits
+        signed = np.where(forced & sign_mask, forced - full, forced)
+        return fmt.from_code(signed)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"BatchedSystolicArray({self.num_maps} maps, "
+                f"{self.rows}x{self.cols})")
+
+
+def matmul_batched(arrays: Sequence[SystolicArray], weight: np.ndarray,
+                   inputs: np.ndarray, bias: Optional[np.ndarray] = None) -> np.ndarray:
+    """Convenience wrapper: one vectorised matmul over ``len(arrays)`` fault maps."""
+
+    return BatchedSystolicArray(arrays).matmul_batched(weight, inputs, bias=bias)

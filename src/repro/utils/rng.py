@@ -8,6 +8,7 @@ are reproducible bit-for-bit from a single seed.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Optional, Union
 
 import numpy as np
@@ -46,11 +47,28 @@ def spawn_rngs(seed: SeedLike, count: int) -> list[np.random.Generator]:
     return [np.random.default_rng(int(s)) for s in seeds]
 
 
+def _stable_tag_value(tag: Union[int, str]) -> int:
+    """Map a tag to a 63-bit integer that is stable across processes.
+
+    Python's built-in ``hash`` is randomised per process for strings
+    (``PYTHONHASHSEED``), which would make every derived seed -- and therefore
+    every "seeded" model initialisation and fault map -- different on each
+    run.  String tags are digested with BLAKE2b instead, which is stable.
+    """
+
+    if isinstance(tag, str):
+        digest = hashlib.blake2b(tag.encode("utf-8"), digest_size=8).digest()
+        return int.from_bytes(digest, "big") & (2**63 - 1)
+    return int(tag) & (2**63 - 1)
+
+
 def derive_seed(seed: SeedLike, *tags: Union[int, str]) -> int:
     """Derive a child seed deterministically from a parent seed and tags.
 
     Tags identify the consumer (e.g. ``("fault_map", trial_index)``) so that
     changing one experiment knob does not shift the random stream of another.
+    The derivation is stable across processes and platforms, which the
+    campaign cache relies on (cache keys embed derived seeds).
     """
 
     if isinstance(seed, np.random.Generator):
@@ -59,10 +77,7 @@ def derive_seed(seed: SeedLike, *tags: Union[int, str]) -> int:
         seed = DEFAULT_SEED
     mix = np.uint64(int(seed))
     for tag in tags:
-        if isinstance(tag, str):
-            tag_value = np.uint64(abs(hash(tag)) % (2**63))
-        else:
-            tag_value = np.uint64(int(tag) & (2**63 - 1))
+        tag_value = np.uint64(_stable_tag_value(tag))
         mix = np.uint64((int(mix) * 6364136223846793005 + int(tag_value) + 1442695040888963407)
                         % (2**64))
     return int(mix % (2**63 - 1))

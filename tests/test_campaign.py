@@ -1,0 +1,242 @@
+"""Tests for the batched fault-injection campaign engine.
+
+Covers: per-map equivalence of the batched evaluation with the sequential
+reference, engine-identical sweep records, deterministic point seeding,
+on-disk caching (including cache hits that skip simulation entirely) and the
+optional worker pool.
+"""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    CampaignPoint,
+    CampaignRunner,
+    cached_record,
+    evaluate_with_faults,
+    evaluate_with_faults_batched,
+    fault_maps_for_trials,
+    map_grid,
+    sweep_bit_locations,
+    sweep_faulty_pe_count,
+)
+from repro.faults.campaign import loader_token, model_token
+from repro.faults.injection import BatchedFaultInjector
+from repro.systolic import BatchedSystolicArray, DEFAULT_ACCUMULATOR_FORMAT
+
+FMT = DEFAULT_ACCUMULATOR_FORMAT
+
+
+@pytest.fixture()
+def eval_loader(tiny_mnist_loaders):
+    return tiny_mnist_loaders[1]
+
+
+class TestBatchedEvaluation:
+    def test_matches_sequential_per_map(self, trained_tiny_model, eval_loader):
+        maps = fault_maps_for_trials(16, 16, 4, 5, bit_position=FMT.magnitude_msb,
+                                     stuck_type="sa1", seed=7)
+        sequential = [evaluate_with_faults(trained_tiny_model, eval_loader, fault_map=m)
+                      for m in maps]
+        batched = evaluate_with_faults_batched(trained_tiny_model, eval_loader,
+                                               fault_maps=maps)
+        assert batched == sequential
+
+    def test_bypass_matches_sequential(self, trained_tiny_model, eval_loader):
+        maps = fault_maps_for_trials(16, 16, 6, 3, bit_position=FMT.magnitude_msb,
+                                     stuck_type="sa1", seed=9)
+        sequential = [evaluate_with_faults(trained_tiny_model, eval_loader,
+                                           fault_map=m, bypass=True) for m in maps]
+        batched = evaluate_with_faults_batched(trained_tiny_model, eval_loader,
+                                               fault_maps=maps, bypass=True)
+        assert batched == sequential
+
+    def test_requires_maps_or_array(self, trained_tiny_model, eval_loader):
+        with pytest.raises(ValueError):
+            evaluate_with_faults_batched(trained_tiny_model, eval_loader)
+
+    def test_injector_restores_forwards(self, trained_tiny_model):
+        maps = fault_maps_for_trials(8, 8, 2, 2, seed=3)
+        array = BatchedSystolicArray.from_fault_maps(maps)
+        layers_before = [m.forward for m in trained_tiny_model.modules()]
+        with BatchedFaultInjector(trained_tiny_model, array):
+            pass
+        layers_after = [m.forward for m in trained_tiny_model.modules()]
+        assert layers_before == layers_after
+
+    def test_no_target_layers_returns_software_accuracy(self, trained_tiny_model,
+                                                        eval_loader):
+        maps = fault_maps_for_trials(8, 8, 2, 3, seed=3)
+        from repro.faults.analysis import baseline_accuracy
+
+        accuracies = evaluate_with_faults_batched(
+            trained_tiny_model, eval_loader, fault_maps=maps)
+        # Sanity against an injector that routes nothing through the array.
+        array = BatchedSystolicArray.from_fault_maps(maps)
+        with BatchedFaultInjector(trained_tiny_model, array,
+                                  layer_filter=lambda layer: False):
+            pass
+        clean = baseline_accuracy(trained_tiny_model, eval_loader)
+        assert len(accuracies) == 3
+        assert all(0.0 <= value <= 1.0 for value in accuracies)
+        assert 0.0 <= clean <= 1.0
+
+
+class TestCampaignPoint:
+    def test_for_trials_matches_fault_maps_for_trials(self):
+        point = CampaignPoint.for_trials(16, 16, 4, 3, bit_position=10,
+                                         stuck_type="sa0", seed=11)
+        expected = fault_maps_for_trials(16, 16, 4, 3, bit_position=10,
+                                         stuck_type="sa0", seed=11)
+        built = point.build_fault_maps(FMT)
+        assert len(built) == 3
+        for map_a, map_b in zip(built, expected):
+            assert map_a.faults == map_b.faults
+
+    def test_stuck_type_canonicalised(self):
+        point = CampaignPoint(4, 4, 1, (1,), stuck_type=1)
+        assert point.stuck_type == "sa1"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CampaignPoint(0, 4, 1, (1,))
+        with pytest.raises(ValueError):
+            CampaignPoint(2, 2, 5, (1,))
+        with pytest.raises(ValueError):
+            CampaignPoint(4, 4, 1, ())
+        with pytest.raises(ValueError):
+            CampaignPoint.for_trials(4, 4, 1, 0)
+
+    def test_payload_round_trip(self):
+        point = CampaignPoint(8, 8, 2, (5, 6), bit_position=3, stuck_type="sa0",
+                              label="unit", dataset="mnist")
+        payload = point.as_payload()
+        assert payload["rows"] == 8 and payload["map_seeds"] == [5, 6]
+        assert payload["bit_position"] == 3 and payload["stuck_type"] == "sa0"
+
+
+class TestCampaignRunner:
+    def make_points(self, trials=2):
+        return [
+            CampaignPoint.for_trials(16, 16, count, trials,
+                                     bit_position=FMT.magnitude_msb,
+                                     stuck_type="sa1", seed=50 + count,
+                                     label="unit", dataset="mnist")
+            for count in (2, 6)
+        ]
+
+    def test_engines_produce_identical_records(self, trained_tiny_model, eval_loader):
+        points = self.make_points()
+        batched = CampaignRunner(trained_tiny_model, eval_loader, engine="batched")
+        sequential = CampaignRunner(trained_tiny_model, eval_loader, engine="sequential")
+        assert batched.run(points) == sequential.run(points)
+
+    def test_records_are_deterministic(self, trained_tiny_model, eval_loader):
+        points = self.make_points()
+        runner = CampaignRunner(trained_tiny_model, eval_loader)
+        assert runner.run(points) == runner.run(points)
+
+    def test_merged_pass_equals_point_at_a_time(self, trained_tiny_model, eval_loader):
+        points = self.make_points()
+        runner = CampaignRunner(trained_tiny_model, eval_loader)
+        merged = runner.run(points)
+        individual = [runner.evaluate_point(point) for point in points]
+        assert merged == individual
+
+    def test_unknown_engine_rejected(self, trained_tiny_model, eval_loader):
+        with pytest.raises(ValueError):
+            CampaignRunner(trained_tiny_model, eval_loader, engine="quantum")
+
+    def test_cache_roundtrip_and_hit(self, trained_tiny_model, eval_loader, tmp_path):
+        points = self.make_points()
+        runner = CampaignRunner(trained_tiny_model, eval_loader, cache_dir=tmp_path)
+        first = runner.run(points)
+        assert len(list(tmp_path.glob("*.json"))) == len(points)
+
+        # A second runner must answer entirely from the cache: break the
+        # simulation path and verify records still come back identical.
+        fresh = CampaignRunner(trained_tiny_model, eval_loader, cache_dir=tmp_path)
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("cache miss: simulation was invoked")
+
+        fresh._evaluate_point = boom
+        fresh._evaluate_points_merged = boom
+        assert fresh.run(points) == first
+
+    def test_cache_key_depends_on_model(self, trained_tiny_model, tiny_model,
+                                        eval_loader, tmp_path):
+        point = self.make_points()[0]
+        trained = CampaignRunner(trained_tiny_model, eval_loader, cache_dir=tmp_path)
+        untrained = CampaignRunner(tiny_model, eval_loader, cache_dir=tmp_path)
+        trained.evaluate_point(point)
+        untrained.evaluate_point(point)
+        assert len(list(tmp_path.glob("*.json"))) == 2
+
+    def test_worker_pool_matches_serial(self, trained_tiny_model, eval_loader):
+        points = self.make_points(trials=1)
+        serial = CampaignRunner(trained_tiny_model, eval_loader, workers=1)
+        pooled = CampaignRunner(trained_tiny_model, eval_loader, workers=2)
+        assert serial.run(points) == pooled.run(points)
+
+    def test_baseline_accuracy_cached(self, trained_tiny_model, eval_loader):
+        runner = CampaignRunner(trained_tiny_model, eval_loader)
+        first = runner.baseline_accuracy()
+        assert runner.baseline_accuracy() == first
+        assert 0.0 <= first <= 1.0
+
+
+class TestSweepEquivalence:
+    def test_fig5b_sweep_records_identical(self, trained_tiny_model, eval_loader):
+        kwargs = dict(rows=16, cols=16, counts=(0, 2, 6), trials=2, seed=5,
+                      dataset="mnist")
+        sequential = sweep_faulty_pe_count(trained_tiny_model, eval_loader,
+                                           engine="sequential", **kwargs)
+        batched = sweep_faulty_pe_count(trained_tiny_model, eval_loader,
+                                        engine="batched", **kwargs)
+        assert batched == sequential
+        assert batched[0]["num_faulty_pes"] == 0
+        assert batched[0]["accuracy_std"] == 0.0
+
+    def test_fig5a_sweep_records_identical(self, trained_tiny_model, eval_loader):
+        kwargs = dict(rows=16, cols=16, bit_positions=(0, FMT.magnitude_msb),
+                      trials=2, seed=5, dataset="mnist")
+        sequential = sweep_bit_locations(trained_tiny_model, eval_loader,
+                                         engine="sequential", **kwargs)
+        batched = sweep_bit_locations(trained_tiny_model, eval_loader,
+                                      engine="batched", **kwargs)
+        assert batched == sequential
+        assert {record["stuck_type"] for record in batched} == {"sa0", "sa1"}
+
+
+class TestHelpers:
+    def test_map_grid_serial(self):
+        assert map_grid(lambda x: x * 2, [1, 2, 3], workers=1) == [2, 4, 6]
+
+    def test_map_grid_pool(self):
+        assert map_grid(_double, [1, 2, 3], workers=2) == [2, 4, 6]
+
+    def test_cached_record(self, tmp_path):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return {"value": 42}
+
+        payload = {"key": "unit-test"}
+        assert cached_record(tmp_path, payload, compute) == {"value": 42}
+        assert cached_record(tmp_path, payload, compute) == {"value": 42}
+        assert len(calls) == 1
+        # No cache dir: compute every time.
+        assert cached_record(None, payload, compute) == {"value": 42}
+        assert len(calls) == 2
+
+    def test_tokens_change_with_content(self, tiny_mnist_loaders, trained_tiny_model,
+                                        tiny_model):
+        train_loader, test_loader = tiny_mnist_loaders
+        assert loader_token(test_loader) != loader_token(train_loader)
+        assert model_token(trained_tiny_model) != model_token(tiny_model)
+
+
+def _double(x):
+    return x * 2

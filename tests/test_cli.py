@@ -54,3 +54,51 @@ class TestCommands:
         payload = json.loads(out_file.read_text())
         assert isinstance(payload, list) and payload
         assert {"total_bits", "accuracy"} <= set(payload[0])
+
+
+class TestCampaignCommand:
+    def test_campaign_parser_defaults(self):
+        args = build_parser().parse_args(["campaign", "counts"])
+        assert args.sweep == "counts"
+        assert args.engine == "batched"
+        assert args.workers == 1
+        assert args.cache_dir is None
+
+    def test_campaign_parser_lists(self):
+        args = build_parser().parse_args(
+            ["campaign", "bits", "--bits", "0,4,14", "--engine", "sequential",
+             "--workers", "3", "--trials", "2"])
+        assert args.bits == [0, 4, 14]
+        assert args.engine == "sequential"
+        assert args.workers == 3
+
+    def test_campaign_rejects_unknown_sweep(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "volts"])
+
+    def test_run_accepts_engine_flags(self):
+        args = build_parser().parse_args(
+            ["run", "fig5b", "--engine", "sequential", "--workers", "2"])
+        assert args.engine == "sequential" and args.workers == 2
+
+    def test_campaign_counts_end_to_end(self, tmp_path, capsys):
+        out_file = tmp_path / "campaign.json"
+        code = main(["campaign", "counts", "--dataset", "mnist", "--seed", "13",
+                     "--counts", "0,4", "--trials", "2",
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--out", str(out_file)])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "campaign" in captured and "num_faulty_pes" in captured
+        payload = json.loads(out_file.read_text())
+        assert [record["num_faulty_pes"] for record in payload] == [0, 4]
+        assert (tmp_path / "cache").is_dir()
+
+    def test_campaign_engines_agree(self, tmp_path):
+        out_a = tmp_path / "batched.json"
+        out_b = tmp_path / "sequential.json"
+        base = ["campaign", "counts", "--dataset", "mnist", "--seed", "13",
+                "--counts", "2", "--trials", "2"]
+        assert main(base + ["--engine", "batched", "--out", str(out_a)]) == 0
+        assert main(base + ["--engine", "sequential", "--out", str(out_b)]) == 0
+        assert json.loads(out_a.read_text()) == json.loads(out_b.read_text())

@@ -223,3 +223,96 @@ class TestExperimentDrivers:
 
         with pytest.raises(KeyError):
             run_fig7_mitigation_comparison(MICRO, methods=("pruning",))
+
+
+class TestReportingEdgeCases:
+    """Edge-case coverage for the reporting helpers (empty / mixed records)."""
+
+    MIXED = [
+        {"name": "alpha", "count": 3, "accuracy": 0.5, "flag": True, "missing": None},
+        {"name": "beta", "count": "n/a", "accuracy": 0.25},
+    ]
+
+    def test_format_table_mixed_types(self):
+        from repro.experiments.reporting import format_table
+
+        table = format_table(self.MIXED)
+        assert "alpha" in table and "n/a" in table and "True" in table
+        assert "0.500" in table and "0.250" in table
+
+    def test_format_table_missing_keys_render_empty(self):
+        from repro.experiments.reporting import format_table
+
+        table = format_table(self.MIXED, columns=["name", "missing"])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert any("beta" in line for line in lines)
+
+    def test_format_table_empty_without_title(self):
+        from repro.experiments.reporting import format_table
+
+        assert format_table([]) == "(no records)"
+
+    def test_format_series_empty_records(self):
+        from repro.experiments.reporting import format_series
+
+        assert format_series([], x="a", y="b") == ""
+        assert format_series([], x="a", y="b", title="t") == "t"
+
+    def test_format_series_empty_grouped(self):
+        from repro.experiments.reporting import format_series
+
+        assert format_series([], x="a", y="b", group_by="g", title="t") == "t"
+
+    def test_format_series_mixed_types(self):
+        from repro.experiments.reporting import format_series
+
+        series = format_series(self.MIXED, x="count", y="accuracy")
+        assert "3->0.500" in series and "n/a->0.250" in series
+
+    def test_format_value(self):
+        from repro.experiments.reporting import format_value
+
+        assert format_value(0.123456) == "0.123"
+        assert format_value(7) == "7"
+        assert format_value("x") == "x"
+        assert format_value(None) == "None"
+
+    def test_summarize_empty_and_missing(self):
+        from repro.experiments.reporting import summarize
+
+        assert summarize([], ["a"]) == []
+        rows = summarize(self.MIXED, ["name", "absent"])
+        assert rows[0] == {"name": "alpha", "absent": None}
+        assert rows[1] == {"name": "beta", "absent": None}
+
+
+class TestRegistryEdgeCases:
+    """Lookup errors and integrity of the experiment registry."""
+
+    def test_unknown_experiment_error_names_options(self):
+        with pytest.raises(KeyError) as excinfo:
+            get_experiment("fig99")
+        message = str(excinfo.value)
+        assert "fig99" in message and "fig7" in message
+
+    def test_lookup_is_identity_stable(self):
+        assert get_experiment("fig5b") is get_experiment("fig5b")
+
+    def test_list_experiments_sorted_and_complete(self):
+        specs = list_experiments()
+        ids = [spec.experiment_id for spec in specs]
+        assert ids == sorted(ids)
+        assert len(specs) == len(EXPERIMENTS)
+
+    def test_benchmark_files_exist(self):
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parent.parent
+        for spec in list_experiments():
+            assert (root / spec.benchmark).is_file(), spec.benchmark
+
+    def test_specs_are_frozen(self):
+        spec = get_experiment("fig7")
+        with pytest.raises(Exception):
+            spec.experiment_id = "other"
