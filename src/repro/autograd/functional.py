@@ -94,7 +94,14 @@ def im2col(x: np.ndarray, kernel: Tuple[int, int], stride: int, padding: int) ->
     out_h = _conv_output_size(height, kh, stride, padding)
     out_w = _conv_output_size(width, kw, stride, padding)
     if padding > 0:
-        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+        # Zero-pad via a direct slice write: identical values to np.pad but
+        # without its per-call Python overhead (this is a per-layer,
+        # per-time-step hot path for the inference engines).
+        padded = np.zeros(
+            (batch, channels, height + 2 * padding, width + 2 * padding),
+            dtype=x.dtype)
+        padded[:, :, padding:padding + height, padding:padding + width] = x
+        x = padded
     strides = x.strides
     shape = (batch, channels, out_h, out_w, kh, kw)
     windows = np.lib.stride_tricks.as_strided(

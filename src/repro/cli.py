@@ -12,6 +12,7 @@ Fault-injection campaigns run directly on the campaign engine::
 
     python -m repro campaign counts --counts 0,4,8,16 --trials 8
     python -m repro campaign bits --bits 0,4,8,14 --engine sequential
+    python -m repro campaign counts --engine fused --dtype float32
     python -m repro campaign sizes --sizes 8,16,32 --workers 4 --cache-dir .cache
 
 The CLI is a thin layer over :mod:`repro.experiments` and
@@ -92,8 +93,14 @@ def _int_list(text: str) -> List[int]:
 
 
 def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--engine", choices=("batched", "sequential"), default="batched",
-                        help="campaign execution engine (records are identical)")
+    parser.add_argument("--engine", choices=("fused", "batched", "sequential"),
+                        default="fused",
+                        help="campaign execution engine (float64 records are "
+                             "identical across engines; 'fused' is the "
+                             "no-autograd default)")
+    parser.add_argument("--dtype", choices=("float64", "float32"), default="float64",
+                        help="fused-engine evaluation dtype (float32 trades "
+                             "bit-identity for speed)")
     parser.add_argument("--workers", type=int, default=1,
                         help="worker processes for cross-point parallelism")
     parser.add_argument("--cache-dir", default=None,
@@ -137,7 +144,7 @@ def _engine_kwargs_for(runner, args: argparse.Namespace) -> dict:
 
     accepted = inspect.signature(runner).parameters
     options = {"engine": args.engine, "workers": args.workers,
-               "cache_dir": args.cache_dir}
+               "cache_dir": args.cache_dir, "dtype": args.dtype}
     return {key: value for key, value in options.items() if key in accepted}
 
 
@@ -171,9 +178,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     baseline = prepare_baseline(config)
     model = baseline.model_factory()
     engine_options = dict(engine=args.engine, workers=args.workers,
-                          cache_dir=args.cache_dir)
+                          cache_dir=args.cache_dir, dtype=args.dtype)
     print(f"campaign '{args.sweep}' on {args.dataset} [{args.scale} scale, "
-          f"{args.engine} engine, workers={args.workers}]")
+          f"{args.engine} engine, dtype={args.dtype}, workers={args.workers}]")
 
     if args.sweep == "bits":
         top = DEFAULT_ACCUMULATOR_FORMAT.magnitude_msb

@@ -17,9 +17,11 @@ All three sweeps are thin wrappers over the
 :class:`~repro.faults.campaign.CampaignRunner`: the grid is expressed as
 :class:`~repro.faults.campaign.CampaignPoint` objects (with the same
 deterministic seed derivation the sweeps have always used) and executed by
-the selected engine.  The default ``"batched"`` engine simulates all of a
-point's fault maps in one vectorised pass and produces records bit-identical
-to the ``"sequential"`` reference.
+the selected engine.  The default ``"fused"`` engine simulates all of a
+point's fault maps in one no-autograd pass with clean-prefix sharing; it
+and the ``"batched"`` autograd pass produce records bit-identical to the
+``"sequential"`` reference (``dtype="float32"`` relaxes that to a
+tolerance for speed).
 """
 
 from __future__ import annotations
@@ -55,9 +57,9 @@ def baseline_accuracy(model, loader) -> float:
 
 
 def _make_runner(model, loader, fmt: FixedPointFormat, engine: str,
-                 workers: int, cache_dir) -> CampaignRunner:
+                 workers: int, cache_dir, dtype: str) -> CampaignRunner:
     return CampaignRunner(model, loader, fmt=fmt, engine=engine,
-                          workers=workers, cache_dir=cache_dir)
+                          workers=workers, cache_dir=cache_dir, dtype=dtype)
 
 
 def sweep_bit_locations(model, loader, *,
@@ -69,9 +71,10 @@ def sweep_bit_locations(model, loader, *,
                         fmt: FixedPointFormat = DEFAULT_ACCUMULATOR_FORMAT,
                         dataset: str = "",
                         seed: int = 0,
-                        engine: str = "batched",
+                        engine: str = "fused",
                         workers: int = 1,
-                        cache_dir=None) -> List[dict]:
+                        cache_dir=None,
+                        dtype: str = "float64") -> List[dict]:
     """Accuracy versus fault bit location and polarity (Fig. 5a).
 
     For each (bit position, stuck-at polarity) pair, ``trials`` random fault
@@ -79,7 +82,7 @@ def sweep_bit_locations(model, loader, *,
     under unmitigated fault injection is recorded.
     """
 
-    runner = _make_runner(model, loader, fmt, engine, workers, cache_dir)
+    runner = _make_runner(model, loader, fmt, engine, workers, cache_dir, dtype)
     points: List[CampaignPoint] = []
     for stuck in stuck_types:
         stuck = StuckAtType.from_value(stuck)
@@ -112,9 +115,10 @@ def sweep_faulty_pe_count(model, loader, *,
                           fmt: FixedPointFormat = DEFAULT_ACCUMULATOR_FORMAT,
                           dataset: str = "",
                           seed: int = 0,
-                          engine: str = "batched",
+                          engine: str = "fused",
                           workers: int = 1,
-                          cache_dir=None) -> List[dict]:
+                          cache_dir=None,
+                          dtype: str = "float64") -> List[dict]:
     """Accuracy versus number of faulty PEs (Fig. 5b).
 
     Faults are injected in the higher-order accumulator bits (worst case), and
@@ -124,7 +128,7 @@ def sweep_faulty_pe_count(model, loader, *,
 
     if bit_position is None:
         bit_position = fmt.magnitude_msb
-    runner = _make_runner(model, loader, fmt, engine, workers, cache_dir)
+    runner = _make_runner(model, loader, fmt, engine, workers, cache_dir, dtype)
     points = [
         CampaignPoint.for_trials(
             rows, cols, count, trials,
@@ -167,9 +171,10 @@ def sweep_array_sizes(model, loader, *,
                       fmt: FixedPointFormat = DEFAULT_ACCUMULATOR_FORMAT,
                       dataset: str = "",
                       seed: int = 0,
-                      engine: str = "batched",
+                      engine: str = "fused",
                       workers: int = 1,
-                      cache_dir=None) -> List[dict]:
+                      cache_dir=None,
+                      dtype: str = "float64") -> List[dict]:
     """Accuracy versus systolic array size at a fixed number of faulty PEs (Fig. 5c).
 
     Smaller arrays are reused more heavily (more weights per PE), so the same
@@ -181,7 +186,7 @@ def sweep_array_sizes(model, loader, *,
     for size in sizes:
         if num_faulty > size * size:
             raise ValueError(f"cannot place {num_faulty} faults in a {size}x{size} array")
-    runner = _make_runner(model, loader, fmt, engine, workers, cache_dir)
+    runner = _make_runner(model, loader, fmt, engine, workers, cache_dir, dtype)
     points = [
         CampaignPoint.for_trials(
             size, size, num_faulty, trials,

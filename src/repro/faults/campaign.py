@@ -10,10 +10,14 @@ explicit object model:
   deterministically via :func:`repro.utils.rng.derive_seed`, which is stable
   across processes).
 * :class:`CampaignRunner` -- evaluates points against a trained model.  The
-  default ``"batched"`` engine simulates all of a point's fault maps in one
-  vectorised pass (see :func:`repro.faults.injection.evaluate_with_faults_batched`),
-  so a whole sweep point costs roughly one inference; the ``"sequential"``
-  engine is the slow reference oracle and produces bit-identical records.
+  default ``"fused"`` engine lowers the model to the no-autograd inference
+  plan (:class:`repro.snn.inference.FusedFaultEngine`): all of a point's
+  fault maps run in one vectorised pass with fused elementwise kernels and
+  clean-prefix sharing across maps that have not yet diverged, plus an
+  optional ``dtype="float32"`` fast mode.  The ``"batched"`` engine is the
+  autograd multi-map pass of PR 1 and the ``"sequential"`` engine the
+  one-map-per-inference reference; all three produce bit-identical float64
+  records.
   Results are cached on disk as JSON keyed by (model hash, data hash, grid
   point); a cache hit skips the simulation entirely.  An optional
   ``multiprocessing`` fork pool parallelises across sweep points.
@@ -42,7 +46,10 @@ from .fault_model import StuckAtType
 from .injection import evaluate_with_faults, evaluate_with_faults_batched
 
 #: Execution engines understood by :class:`CampaignRunner`.
-ENGINES = ("batched", "sequential")
+ENGINES = ("fused", "batched", "sequential")
+
+#: Evaluation dtypes understood by the fused engine.
+DTYPES = ("float64", "float32")
 
 #: Cache layout version; bump when record contents change incompatibly.
 _CACHE_VERSION = 1
@@ -260,9 +267,15 @@ class CampaignRunner:
     fmt:
         Accumulator fixed-point format of the simulated arrays.
     engine:
-        ``"batched"`` (default) simulates all of a point's fault maps in one
-        vectorised pass; ``"sequential"`` runs one full inference per map.
-        Both produce bit-identical records.
+        ``"fused"`` (default) lowers the model to the no-autograd inference
+        plan and simulates all of a point's fault maps in one pass with
+        clean-prefix sharing; ``"batched"`` is the autograd multi-map pass;
+        ``"sequential"`` runs one autograd inference per map.  All three
+        produce bit-identical float64 records.
+    dtype:
+        ``"float64"`` (default) or ``"float32"``; the latter requires the
+        fused engine and trades bit-identity for speed (records then carry
+        a ``dtype`` field in their cache key).
     bypass:
         Enable the bypass multiplexer of faulty PEs (mitigated hardware).
     cache_dir:
@@ -278,17 +291,23 @@ class CampaignRunner:
 
     def __init__(self, model, loader, *,
                  fmt: FixedPointFormat = DEFAULT_ACCUMULATOR_FORMAT,
-                 engine: str = "batched",
+                 engine: str = "fused",
                  bypass: bool = False,
                  cache_dir: Optional[Union[str, Path]] = None,
                  workers: int = 1,
-                 max_batched_maps: int = 128) -> None:
+                 max_batched_maps: int = 128,
+                 dtype: str = "float64") -> None:
         if engine not in ENGINES:
             raise ValueError(f"unknown engine '{engine}'; options: {ENGINES}")
+        if dtype not in DTYPES:
+            raise ValueError(f"unknown dtype '{dtype}'; options: {DTYPES}")
+        if dtype != "float64" and engine != "fused":
+            raise ValueError("dtype='float32' requires the fused engine")
         self.model = model
         self.loader = loader
         self.fmt = fmt
         self.engine = engine
+        self.dtype = dtype
         self.bypass = bool(bypass)
         self.cache_dir = None if cache_dir is None else Path(cache_dir)
         self.workers = int(workers)
@@ -299,15 +318,26 @@ class CampaignRunner:
 
     # ------------------------------------------------------------------
     def baseline_accuracy(self) -> float:
-        """Fault-free accuracy through the software forward path (cached)."""
+        """Fault-free accuracy of the model (cached).
+
+        The fused engine evaluates through the lowered inference plan (in
+        ``self.dtype``); float64 results are bit-identical to the autograd
+        software forward used by the other engines.
+        """
 
         if self._baseline is None:
-            from .analysis import baseline_accuracy
-            self._baseline = baseline_accuracy(self.model, self.loader)
+            if self.engine == "fused":
+                from ..snn.inference import FusedInferenceEngine
+
+                self._baseline = FusedInferenceEngine(
+                    self.model, dtype=self.dtype).evaluate(self.loader)
+            else:
+                from .analysis import baseline_accuracy
+                self._baseline = baseline_accuracy(self.model, self.loader)
         return self._baseline
 
     def _cache_payload(self, point: CampaignPoint) -> dict:
-        return {
+        payload = {
             "version": _CACHE_VERSION,
             "model": self._model_token,
             "data": self._data_token,
@@ -315,6 +345,11 @@ class CampaignRunner:
             "bypass": self.bypass,
             "point": point.as_payload(),
         }
+        if self.dtype != "float64":
+            # float64 results are engine-independent and keep their historic
+            # cache keys; only the tolerance-mode dtype changes the result.
+            payload["dtype"] = self.dtype
+        return payload
 
     def _record_for(self, point: CampaignPoint, accuracies: Sequence[float]) -> dict:
         record = point.as_payload()
@@ -330,14 +365,17 @@ class CampaignRunner:
         """Simulate one grid point (no cache) and return its record."""
 
         maps = point.build_fault_maps(self.fmt)
-        if self.engine == "batched":
+        if self.engine in ("fused", "batched"):
             accuracies = evaluate_with_faults_batched(
                 self.model, self.loader, fault_maps=maps,
-                bypass=self.bypass, fmt=self.fmt)
+                bypass=self.bypass, fmt=self.fmt,
+                engine="fused" if self.engine == "fused" else "autograd",
+                dtype=self.dtype)
         else:
             accuracies = [
                 evaluate_with_faults(self.model, self.loader, fault_map=fault_map,
-                                     bypass=self.bypass, fmt=self.fmt)
+                                     bypass=self.bypass, fmt=self.fmt,
+                                     engine="autograd")
                 for fault_map in maps
             ]
         return self._record_for(point, accuracies)
@@ -368,7 +406,9 @@ class CampaignRunner:
                 merged = [fault_map for _, maps in chunk for fault_map in maps]
                 accuracies = evaluate_with_faults_batched(
                     self.model, self.loader, fault_maps=merged,
-                    bypass=self.bypass, fmt=self.fmt)
+                    bypass=self.bypass, fmt=self.fmt,
+                    engine="fused" if self.engine == "fused" else "autograd",
+                    dtype=self.dtype)
                 offset = 0
                 for index, maps in chunk:
                     results[index] = self._record_for(
@@ -417,7 +457,7 @@ class CampaignRunner:
 
         if missing:
             missing_points = [points[i] for i in missing]
-            if self.engine == "batched" and self.workers <= 1:
+            if self.engine in ("fused", "batched") and self.workers <= 1:
                 computed = self._evaluate_points_merged(missing_points)
             else:
                 computed = map_grid(self._evaluate_point, missing_points,

@@ -7,13 +7,21 @@ that the accuracy measured afterwards reflects the accelerator's stuck-at
 faults -- the tool-flow of the paper's Fig. 4 ("fault injection" followed by
 "fault mapping to systolic array").
 
-Two execution modes are provided:
+Three execution modes are provided:
 
-* :class:`FaultInjector` / :func:`evaluate_with_faults` -- the sequential
-  reference: one fault map per forward pass.
-* :class:`BatchedFaultInjector` / :func:`evaluate_with_faults_batched` --
-  the campaign mode: the input batch is tiled ``F`` times and ONE forward
-  pass is routed through all ``F`` arrays of a
+* The **fused engine** (default for both evaluation helpers): the model is
+  lowered to a :class:`~repro.snn.inference.FusedFaultEngine` -- a flat
+  plan of fused pure-numpy kernels with no autograd graph, clean-prefix
+  sharing across fault maps that have not yet diverged, and an optional
+  float32 mode.  Float64 results are bit-identical to the autograd paths
+  below.
+* :class:`FaultInjector` / ``engine="autograd"`` on
+  :func:`evaluate_with_faults` -- the sequential autograd reference: one
+  fault map per forward pass.
+* :class:`BatchedFaultInjector` / ``engine="autograd"`` on
+  :func:`evaluate_with_faults_batched` -- the batched autograd reference:
+  the input batch is tiled ``F`` times and ONE forward pass is routed
+  through all ``F`` arrays of a
   :class:`~repro.systolic.array.BatchedSystolicArray` at once (the fault-map
   axis is folded into the batch axis between layers).  Every non-affine
   layer is elementwise over the batch, so per-map accuracies are
@@ -34,6 +42,17 @@ from ..snn.network import SpikingClassifier
 from ..systolic.array import BatchedSystolicArray, SystolicArray
 from ..systolic.fixed_point import DEFAULT_ACCUMULATOR_FORMAT, FixedPointFormat
 from .fault_map import FaultMap
+
+#: Execution engines accepted by the evaluation helpers: the fused
+#: no-autograd plan (default) or the autograd fault-injector reference.
+EVAL_ENGINES = ("fused", "autograd")
+
+
+def _check_eval_engine(engine: str, dtype: str) -> None:
+    if engine not in EVAL_ENGINES:
+        raise ValueError(f"unknown engine '{engine}'; options: {EVAL_ENGINES}")
+    if engine != "fused" and dtype != "float64":
+        raise ValueError("dtype overrides require the fused engine")
 
 
 class FaultInjector(contextlib.AbstractContextManager):
@@ -192,17 +211,28 @@ def evaluate_with_faults(model: SpikingClassifier, loader,
                          fault_map: Optional[FaultMap] = None,
                          array: Optional[SystolicArray] = None,
                          bypass: bool = False,
-                         fmt: FixedPointFormat = DEFAULT_ACCUMULATOR_FORMAT) -> float:
+                         fmt: FixedPointFormat = DEFAULT_ACCUMULATOR_FORMAT,
+                         engine: str = "fused",
+                         dtype: str = "float64") -> float:
     """Classification accuracy of ``model`` on ``loader`` under fault injection.
 
     Either a prepared ``array`` or a ``fault_map`` must be supplied.  Returns
-    accuracy in [0, 1].
+    accuracy in [0, 1].  The default ``"fused"`` engine lowers the model to
+    the no-autograd inference plan (float64: bit-identical to the
+    ``"autograd"`` reference; ``dtype="float32"`` relaxes bit-identity for
+    speed).
     """
 
+    _check_eval_engine(engine, dtype)
     if array is None:
         if fault_map is None:
             raise ValueError("either fault_map or array must be provided")
         array = build_faulty_array(fault_map, fmt=fmt, bypass=bypass)
+
+    if engine == "fused":
+        from ..snn.inference import FusedFaultEngine
+
+        return FusedFaultEngine(model, [array], dtype=dtype).evaluate(loader)[0]
 
     was_training = model.training
     model.eval()
@@ -224,15 +254,34 @@ def evaluate_with_faults_batched(model: SpikingClassifier, loader,
                                  fault_maps: Optional[Sequence[FaultMap]] = None,
                                  array: Optional[BatchedSystolicArray] = None,
                                  bypass: bool = False,
-                                 fmt: FixedPointFormat = DEFAULT_ACCUMULATOR_FORMAT
-                                 ) -> List[float]:
+                                 fmt: FixedPointFormat = DEFAULT_ACCUMULATOR_FORMAT,
+                                 engine: str = "fused",
+                                 dtype: str = "float64") -> List[float]:
     """Per-fault-map accuracies of ``model`` on ``loader``, in one pass.
 
     The whole sweep point -- all ``F`` fault maps -- costs roughly one
     (``F``-times wider) inference instead of ``F`` full inferences.  The
     returned list matches ``[evaluate_with_faults(model, loader, fault_map=m)
     for m in fault_maps]`` exactly.
+
+    The default ``"fused"`` engine additionally shares the clean activation
+    prefix across fault maps that have not yet diverged (see
+    :class:`~repro.snn.inference.FusedFaultEngine`); float64 results remain
+    bit-identical to ``engine="autograd"``.
     """
+
+    _check_eval_engine(engine, dtype)
+    if engine == "fused":
+        from ..snn.inference import FusedFaultEngine
+
+        if array is not None:
+            arrays = array.arrays
+        else:
+            if not fault_maps:
+                raise ValueError("either fault_maps or array must be provided")
+            arrays = [build_faulty_array(fault_map, fmt=fmt, bypass=bypass)
+                      for fault_map in fault_maps]
+        return FusedFaultEngine(model, arrays, dtype=dtype).evaluate(loader)
 
     if array is None:
         if not fault_maps:

@@ -29,9 +29,17 @@ from .models import (
     ModelConfig,
     build_model_for_dataset,
     build_plif_snn,
+    compile_for_inference,
     dvs_gesture_config,
     mnist_config,
     nmnist_config,
+)
+from .inference import (
+    FusedFaultEngine,
+    FusedInferenceEngine,
+    InferencePlan,
+    LoweringError,
+    lower_plan,
 )
 
 __all__ = [
@@ -78,6 +86,12 @@ __all__ = [
     "ModelConfig",
     "build_model_for_dataset",
     "build_plif_snn",
+    "compile_for_inference",
+    "FusedFaultEngine",
+    "FusedInferenceEngine",
+    "InferencePlan",
+    "LoweringError",
+    "lower_plan",
     "dvs_gesture_config",
     "mnist_config",
     "nmnist_config",

@@ -1,0 +1,45 @@
+"""Fused no-autograd inference subsystem for trained spiking classifiers.
+
+A trained :class:`~repro.snn.network.SpikingClassifier` is *lowered* into a
+flat :class:`~repro.snn.inference.plan.InferencePlan` of pure-numpy op
+specs, which the engines execute with preallocated state buffers, in-place
+membrane updates and a single charge->fire->reset pass per spiking layer
+per time step -- no autograd graph construction.
+
+* :class:`FusedInferenceEngine` -- fault-free evaluation.  ``float64`` is
+  bit-identical to the autograd forward; ``float32`` is a fast mode with a
+  documented tolerance.
+* :class:`FusedFaultEngine` -- multi-fault-map evaluation with clean-prefix
+  sharing: each fault map forks off the shared clean lane at the first
+  affine layer its faults actually corrupt.
+
+See the README's "Fused inference engine" section for the architecture and
+the bit-identity guarantees.
+"""
+
+from .engine import FusedFaultEngine, FusedInferenceEngine
+from .plan import (
+    AffineSpec,
+    BatchNormSpec,
+    FlattenSpec,
+    InferencePlan,
+    LoweringError,
+    NeuronSpec,
+    PlanBuilder,
+    PoolSpec,
+    lower_plan,
+)
+
+__all__ = [
+    "AffineSpec",
+    "BatchNormSpec",
+    "FlattenSpec",
+    "FusedFaultEngine",
+    "FusedInferenceEngine",
+    "InferencePlan",
+    "LoweringError",
+    "NeuronSpec",
+    "PlanBuilder",
+    "PoolSpec",
+    "lower_plan",
+]

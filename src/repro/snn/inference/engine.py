@@ -1,0 +1,374 @@
+"""Fused no-autograd inference engines over a lowered plan.
+
+Two engines execute an :class:`~repro.snn.inference.plan.InferencePlan`:
+
+* :class:`FusedInferenceEngine` -- fault-free evaluation.  In ``float64``
+  it is bit-identical to ``model(x)`` in eval mode under ``no_grad`` (same
+  numpy operations, same order, same shapes); ``float32`` trades
+  bit-identity for roughly half the memory traffic on the memory-bound
+  elementwise neuron updates.
+
+* :class:`FusedFaultEngine` -- evaluation under ``F`` systolic-array fault
+  maps in one pass, with **clean-prefix sharing**: faults only corrupt
+  specific affine layers' GEMMs (a map is corrupted by a layer only when
+  one of its faulty PE columns actually holds output features of that
+  layer, or a bypassed PE zeroes one of its weights), so each fault map's
+  execution is bit-identical to the clean one up to the first affine layer
+  its faults touch.  The engine runs a single shared *clean lane* plus a
+  growing *fork lane*: a map is forked out of the clean lane exactly at its
+  first corrupted layer, and all forked maps advance together with their
+  fault-map axis folded into the batch axis.  Corrupted GEMMs are delegated
+  to :class:`~repro.systolic.array.BatchedSystolicArray`, whose per-map
+  arithmetic is bit-identical to the sequential oracle, so float64 results
+  match the autograd fault-injection paths bit for bit.
+
+Both engines additionally cache the *static prefix* (the stateless ops
+before the first spiking layer) per batch: for static inputs those
+activations are identical at every time step, so e.g. the spike-encoder
+convolution runs once instead of ``T`` times.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...systolic.array import BatchedSystolicArray, SystolicArray
+from ...systolic.mapping import faulty_weight_mask
+from .faulty_gemm import FaultyAffineRunner
+from .kernels import NeuronKernel, make_kernel
+from .plan import SUPPORTED_DTYPES, AffineSpec, InferencePlan, lower_plan
+
+__all__ = ["FusedInferenceEngine", "FusedFaultEngine"]
+
+
+def _check_dtype(dtype) -> np.dtype:
+    resolved = np.dtype(dtype)
+    if resolved.name not in SUPPORTED_DTYPES:
+        raise ValueError(
+            f"unsupported inference dtype '{dtype}'; options: {SUPPORTED_DTYPES}")
+    return resolved
+
+
+def _iter_frames(x: np.ndarray, time_steps: int):
+    """Frame iteration with the semantics of ``SpikingClassifier._iter_frames``."""
+
+    if x.ndim in (5, 3):
+        for t in range(x.shape[0]):
+            yield x[t]
+    elif x.ndim in (4, 2):
+        for _ in range(time_steps):
+            yield x
+    else:
+        raise ValueError(
+            "expected a 2D/4D static input or a 3D/5D time-major input, "
+            f"got shape {x.shape}")
+
+
+class FusedInferenceEngine:
+    """Fault-free fused evaluation of a lowered spiking classifier.
+
+    Parameters
+    ----------
+    model:
+        A trained :class:`~repro.snn.network.SpikingClassifier` (anything
+        with a ``lower_inference`` hook and ``time_steps``).  Weights are
+        captured by reference at construction; rebuild the engine after
+        loading new parameters.
+    dtype:
+        ``"float64"`` (bit-identical to the autograd forward) or
+        ``"float32"`` (documented-tolerance fast mode).
+    """
+
+    def __init__(self, model, dtype: str = "float64") -> None:
+        self.plan: InferencePlan = lower_plan(model)
+        self.dtype = _check_dtype(dtype)
+        self._kernels = [make_kernel(op, self.dtype, affine_mode="software")
+                         for op in self.plan.ops]
+        self._prefix = self.plan.static_prefix
+
+    def _reset_state(self) -> None:
+        for kernel in self._kernels:
+            if isinstance(kernel, NeuronKernel):
+                kernel.reset()
+
+    def run(self, inputs) -> np.ndarray:
+        """Output firing rates of shape ``(batch, num_classes)``."""
+
+        x0 = np.asarray(inputs, dtype=self.dtype)
+        static = x0.ndim in (4, 2)
+        self._reset_state()
+        acc: Optional[np.ndarray] = None
+        prefix_out: Optional[np.ndarray] = None
+        steps = 0
+        for frame in _iter_frames(x0, self.plan.time_steps):
+            if static and prefix_out is not None:
+                x = prefix_out
+            else:
+                x = frame
+                for kernel in self._kernels[:self._prefix]:
+                    x = kernel.run(x)
+                if static:
+                    prefix_out = x
+            for kernel in self._kernels[self._prefix:]:
+                x = kernel.run(x)
+            if acc is None:
+                acc = x.astype(self.dtype, copy=True)
+            else:
+                np.add(acc, x, out=acc)
+            steps += 1
+        np.multiply(acc, 1.0 / steps, out=acc)
+        return acc
+
+    def predict(self, inputs) -> np.ndarray:
+        """Predicted class indices for a batch."""
+
+        return np.argmax(self.run(inputs), axis=1)
+
+    def evaluate(self, loader) -> float:
+        """Classification accuracy over all batches of ``loader``."""
+
+        correct = 0
+        total = 0
+        for inputs, labels in loader:
+            predictions = np.argmax(self.run(inputs), axis=1)
+            correct += int(np.sum(predictions == labels))
+            total += labels.shape[0]
+        return correct / total if total else 0.0
+
+
+class _AffineExec:
+    """Precomputed per-affine-layer execution state of the fault engine."""
+
+    __slots__ = ("spec", "runner", "num_prev", "num_active", "clean_out_needed")
+
+    def __init__(self, spec, runner, num_prev, num_active,
+                 clean_out_needed) -> None:
+        self.spec = spec
+        self.runner = runner
+        self.num_prev = num_prev
+        self.num_active = num_active
+        self.clean_out_needed = clean_out_needed
+
+
+class FusedFaultEngine:
+    """Fused evaluation under ``F`` fault maps with clean-prefix sharing.
+
+    Parameters
+    ----------
+    model:
+        Trained spiking classifier (lowered at construction).
+    arrays:
+        One (possibly faulty, possibly bypassed) :class:`SystolicArray` per
+        fault map.  All must share grid dimensions and accumulator format.
+        Fault/bypass state is snapshotted when the engine is built.
+    dtype:
+        ``"float64"`` reproduces the autograd fault-injection paths bit for
+        bit; ``"float32"`` keeps the (fixed-point) fault arithmetic in
+        float64 inside the array simulator but runs all elementwise SNN
+        state in single precision.
+    """
+
+    def __init__(self, model, arrays: Sequence[SystolicArray],
+                 dtype: str = "float64") -> None:
+        arrays = list(arrays)
+        if not arrays:
+            raise ValueError("FusedFaultEngine needs at least one array")
+        self.plan: InferencePlan = lower_plan(model)
+        self.dtype = _check_dtype(dtype)
+        self.num_maps = len(arrays)
+        affine_specs = self.plan.affine_specs
+
+        # First affine ordinal whose GEMM each map's faults corrupt.  Each
+        # map is probed through a single-map BatchedSystolicArray so the
+        # chain-population rule is the simulator's own, not a re-derivation.
+        self._divergence: List[Optional[int]] = [
+            self._first_affected(array, BatchedSystolicArray([array]),
+                                 affine_specs)
+            for array in arrays]
+        #: Forked maps in fork-lane order (divergence layer, then map index).
+        self.fork_order: List[int] = sorted(
+            (f for f in range(self.num_maps) if self._divergence[f] is not None),
+            key=lambda f: (self._divergence[f], f))
+
+        self._layers: List[_AffineExec] = []
+        subset_cache = {}
+        for spec in affine_specs:
+            k = spec.index
+            active = [f for f in self.fork_order if self._divergence[f] <= k]
+            prev = sum(1 for f in self.fork_order if self._divergence[f] < k)
+            runner = None
+            if active:
+                key = tuple(active)
+                subset = subset_cache.get(key)
+                if subset is None:
+                    subset = BatchedSystolicArray([arrays[f] for f in active])
+                    subset_cache[key] = subset
+                runner = FaultyAffineRunner(subset,
+                                            subset.prepare_weight(spec.weight),
+                                            spec)
+            clean_out_needed = any(d is None or d > k for d in self._divergence)
+            self._layers.append(_AffineExec(spec, runner, prev,
+                                            len(active), clean_out_needed))
+
+        self._clean = [make_kernel(op, self.dtype, affine_mode="array")
+                       for op in self.plan.ops]
+        # Fork-lane activations keep an explicit leading fault-map axis
+        # ((F_active, batch, ...)); elementwise arithmetic is unchanged but
+        # the batched conv outputs never need a (costly) re-fold copy.
+        self._fork = [None if isinstance(op, AffineSpec)
+                      else make_kernel(op, self.dtype, batch_ndim=2)
+                      for op in self.plan.ops]
+        self._prefix = self.plan.static_prefix
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _first_affected(array: SystolicArray, probe: BatchedSystolicArray,
+                        affine_specs: Sequence[AffineSpec]) -> Optional[int]:
+        """First affine ordinal whose output the map's faults can alter.
+
+        A layer is touched when the simulator would build at least one
+        fault chain for it (asked of ``probe`` -- a single-map
+        :class:`BatchedSystolicArray` -- so the feature-to-column mapping
+        and active-fault filtering stay the simulator's own), or when a
+        bypassed PE's weight mask covers any weight element.  Note a
+        populated chain counts even when no fault row falls inside a tile:
+        the simulator still *recomputes* those columns through the
+        segment-GEMM path, so only maps reported clean here are guaranteed
+        bit-identical to the dense product.
+        """
+
+        bypassed = array.bypassed_coordinates
+        for spec in affine_specs:
+            out_features, in_features = spec.weight_matrix_shape
+            if probe._chain_tables(out_features):
+                return spec.index
+            if bypassed:
+                mask = faulty_weight_mask(bypassed, (out_features, in_features),
+                                          array.rows, array.cols)
+                if mask.any():
+                    return spec.index
+        return None
+
+    def _reset_state(self) -> None:
+        for kernel in self._clean:
+            if isinstance(kernel, NeuronKernel):
+                kernel.reset()
+        for kernel in self._fork:
+            if isinstance(kernel, NeuronKernel):
+                kernel.reset()
+
+    # ------------------------------------------------------------------
+    def _fork_affine(self, layer: _AffineExec, x_c: Optional[np.ndarray],
+                     x_v: Optional[np.ndarray], batch: int) -> np.ndarray:
+        """Run one corrupted affine layer for all maps forked so far.
+
+        Maps forking *at* this layer enter with the clean activations; maps
+        forked earlier carry their own slice of the fork lane.  The result
+        keeps the leading ``(F_active, batch, ...)`` fault-map axis.
+        """
+
+        spec = layer.spec
+        num_new = layer.num_active - layer.num_prev
+        shared = layer.num_prev == 0
+        if shared:
+            # Everyone forks here: hand the runner the shared clean
+            # activations so the dense product is computed once (the exact
+            # fan-out semantics of the autograd batched injector).
+            x_in = x_c
+        else:
+            x_in = x_v
+            if num_new:
+                x_in = np.concatenate(
+                    [x_in, np.broadcast_to(x_c, (num_new,) + x_c.shape)])
+        if spec.kind == "conv":
+            out = layer.runner.conv2d(x_in, shared)
+        else:
+            out = layer.runner.matmul(x_in, shared)
+        if out.dtype != self.dtype:
+            out = out.astype(self.dtype)
+        return out
+
+    def _run_ops(self, x_c: Optional[np.ndarray], x_v: Optional[np.ndarray],
+                 start: int, stop: int, batch: int
+                 ) -> Tuple[Optional[np.ndarray], Optional[np.ndarray]]:
+        ops = self.plan.ops
+        for i in range(start, stop):
+            op = ops[i]
+            if isinstance(op, AffineSpec):
+                layer = self._layers[op.index]
+                new_x_v = x_v
+                if layer.num_active:
+                    new_x_v = self._fork_affine(layer, x_c, x_v, batch)
+                x_c = self._clean[i].run(x_c) if layer.clean_out_needed else None
+                x_v = new_x_v
+            else:
+                if x_c is not None:
+                    x_c = self._clean[i].run(x_c)
+                if x_v is not None:
+                    x_v = self._fork[i].run(x_v)
+        return x_c, x_v
+
+    def run(self, inputs) -> np.ndarray:
+        """Per-map firing rates of shape ``(F, batch, num_classes)``.
+
+        ``result[f]`` is bit-identical (float64) to the autograd forward
+        with the model's affine layers routed through ``arrays[f]``.
+        """
+
+        x0 = np.asarray(inputs, dtype=self.dtype)
+        static = x0.ndim in (4, 2)
+        batch = x0.shape[0] if static else x0.shape[1]
+        self._reset_state()
+        acc_c: Optional[np.ndarray] = None
+        acc_v: Optional[np.ndarray] = None
+        cached: Optional[Tuple] = None
+        steps = 0
+        for frame in _iter_frames(x0, self.plan.time_steps):
+            if static and cached is not None:
+                x_c, x_v = cached
+            else:
+                x_c, x_v = self._run_ops(frame, None, 0, self._prefix, batch)
+                if static:
+                    cached = (x_c, x_v)
+            x_c, x_v = self._run_ops(x_c, x_v, self._prefix, len(self.plan.ops),
+                                     batch)
+            if steps == 0:
+                acc_c = None if x_c is None else x_c.astype(self.dtype, copy=True)
+                acc_v = None if x_v is None else x_v.astype(self.dtype, copy=True)
+            else:
+                if acc_c is not None:
+                    np.add(acc_c, x_c, out=acc_c)
+                if acc_v is not None:
+                    np.add(acc_v, x_v, out=acc_v)
+            steps += 1
+
+        scale = 1.0 / steps
+        num_classes = (acc_c if acc_c is not None else acc_v).shape[-1]
+        rates = np.empty((self.num_maps, batch, num_classes), dtype=self.dtype)
+        if acc_c is not None:
+            np.multiply(acc_c, scale, out=acc_c)
+        if acc_v is not None:
+            np.multiply(acc_v, scale, out=acc_v)
+        forked = set(self.fork_order)
+        for position, map_index in enumerate(self.fork_order):
+            rates[map_index] = acc_v[position]
+        for map_index in range(self.num_maps):
+            if map_index not in forked:
+                rates[map_index] = acc_c
+        return rates
+
+    def evaluate(self, loader) -> List[float]:
+        """Per-fault-map accuracies over all batches of ``loader``."""
+
+        correct = np.zeros(self.num_maps, dtype=np.int64)
+        total = 0
+        for inputs, labels in loader:
+            rates = self.run(inputs)
+            predictions = np.argmax(rates, axis=2)
+            correct += np.sum(predictions == labels[None, :], axis=1)
+            total += labels.shape[0]
+        if not total:
+            return [0.0] * self.num_maps
+        return [int(c) / total for c in correct]

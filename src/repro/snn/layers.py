@@ -42,6 +42,10 @@ class Linear(Module):
     def forward(self, x: Tensor) -> Tensor:
         return F.linear(x, self.weight, self.bias)
 
+    def lower_inference(self, builder) -> None:
+        builder.add_affine("linear", self.weight.data,
+                           None if self.bias is None else self.bias.data)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Linear({self.in_features}, {self.out_features})"
 
@@ -69,6 +73,11 @@ class Conv2d(Module):
     def forward(self, x: Tensor) -> Tensor:
         return F.conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
 
+    def lower_inference(self, builder) -> None:
+        builder.add_affine("conv", self.weight.data,
+                           None if self.bias is None else self.bias.data,
+                           stride=self.stride, padding=self.padding)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"Conv2d({self.in_channels}, {self.out_channels}, "
                 f"k={self.kernel_size}, s={self.stride}, p={self.padding})")
@@ -91,6 +100,10 @@ class BatchNorm2d(Module):
         return F.batch_norm(x, self.gamma, self.beta, self.running_mean, self.running_var,
                             training=self.training, momentum=self.momentum, eps=self.eps)
 
+    def lower_inference(self, builder) -> None:
+        builder.add_batch_norm(self.gamma.data, self.beta.data,
+                               self.running_mean, self.running_var, self.eps)
+
 
 class AvgPool2d(Module):
     """Non-overlapping average pooling."""
@@ -102,6 +115,9 @@ class AvgPool2d(Module):
     def forward(self, x: Tensor) -> Tensor:
         return F.avg_pool2d(x, self.kernel_size)
 
+    def lower_inference(self, builder) -> None:
+        builder.add_pool("avg", self.kernel_size)
+
 
 class MaxPool2d(Module):
     """Non-overlapping max pooling."""
@@ -112,6 +128,9 @@ class MaxPool2d(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         return F.max_pool2d(x, self.kernel_size)
+
+    def lower_inference(self, builder) -> None:
+        builder.add_pool("max", self.kernel_size)
 
 
 class Dropout(Module):
@@ -127,12 +146,18 @@ class Dropout(Module):
     def forward(self, x: Tensor) -> Tensor:
         return F.dropout(x, self.p, training=self.training, rng=self._rng)
 
+    def lower_inference(self, builder) -> None:
+        builder.add_identity()  # inverted dropout is the identity in eval mode
+
 
 class Flatten(Module):
     """Flatten all dimensions except the batch dimension."""
 
     def forward(self, x: Tensor) -> Tensor:
         return x.flatten_batch()
+
+    def lower_inference(self, builder) -> None:
+        builder.add_flatten()
 
 
 class Sequential(Module):
@@ -165,3 +190,7 @@ class Sequential(Module):
         for name in self._order:
             x = getattr(self, name)(x)
         return x
+
+    def lower_inference(self, builder) -> None:
+        for module in self:
+            builder.lower(module)

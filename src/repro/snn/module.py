@@ -148,6 +148,21 @@ class Module:
                 params[name].data[...] = value
 
     # ------------------------------------------------------------------
+    # Fused inference lowering
+    # ------------------------------------------------------------------
+    def lower_inference(self, builder) -> None:
+        """Append this module's fused-inference op spec(s) to ``builder``.
+
+        Supported layer types override this to describe themselves to the
+        :class:`repro.snn.inference.plan.PlanBuilder`; containers forward
+        the call to their children.  The default raises, which the builder
+        reports as a :class:`~repro.snn.inference.plan.LoweringError`.
+        """
+
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement fused inference lowering")
+
+    # ------------------------------------------------------------------
     # Forward
     # ------------------------------------------------------------------
     def forward(self, *args, **kwargs):

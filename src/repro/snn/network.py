@@ -63,6 +63,26 @@ class SpikingClassifier(Module):
         return {node.layer_label: node.v_threshold for node in self.labelled_spiking_layers()}
 
     # ------------------------------------------------------------------
+    # Fused inference lowering
+    # ------------------------------------------------------------------
+    def lower_inference(self, builder) -> None:
+        builder.lower(self.layers)
+
+    def compile_inference(self, dtype: str = "float64"):
+        """Lower this classifier into a fused no-autograd inference engine.
+
+        The returned :class:`~repro.snn.inference.FusedInferenceEngine`
+        evaluates with preallocated buffers and no graph construction;
+        ``dtype="float64"`` is bit-identical to :meth:`forward` in eval
+        mode.  Weights are captured by reference -- recompile after loading
+        a new state dict.
+        """
+
+        from .inference import FusedInferenceEngine
+
+        return FusedInferenceEngine(self, dtype=dtype)
+
+    # ------------------------------------------------------------------
     # Forward
     # ------------------------------------------------------------------
     def _iter_frames(self, x: Tensor):

@@ -75,6 +75,11 @@ class BaseNode(Module):
             self.v_threshold_param = None
             self._fixed_threshold = float(v_threshold)
         self.v: Optional[Tensor] = None
+        # Cached constants reused across time steps: the fixed-threshold
+        # scalar tensor (invalidated by set/freeze) and the hard-reset fill
+        # tensor as a (value, tensor) pair keyed by state shape.
+        self._threshold_cache: Optional[Tensor] = None
+        self._reset_cache = None
 
     # ------------------------------------------------------------------
     # Threshold handling
@@ -84,7 +89,9 @@ class BaseNode(Module):
 
         if self.learnable_threshold:
             return self.v_threshold_param.maximum(MIN_THRESHOLD)
-        return Tensor(np.array(self._fixed_threshold))
+        if self._threshold_cache is None:
+            self._threshold_cache = Tensor(np.array(self._fixed_threshold))
+        return self._threshold_cache
 
     @property
     def v_threshold(self) -> float:
@@ -103,6 +110,7 @@ class BaseNode(Module):
             self.v_threshold_param.data[...] = float(value)
         else:
             self._fixed_threshold = float(value)
+            self._threshold_cache = None
 
     def make_threshold_learnable(self, initial: Optional[float] = None) -> None:
         """Convert a fixed threshold into a learnable parameter (used by FalVolt)."""
@@ -125,6 +133,7 @@ class BaseNode(Module):
         self._parameters.pop("v_threshold_param", None)
         object.__setattr__(self, "v_threshold_param", None)
         self._fixed_threshold = value
+        self._threshold_cache = None
 
     # ------------------------------------------------------------------
     # State handling
@@ -156,8 +165,16 @@ class BaseNode(Module):
         if self.v_reset is None:
             # Soft reset: subtract the threshold from neurons that fired.
             return h - spike * self.threshold_tensor()
-        # Hard reset: spiking neurons return to v_reset.
-        return where(spike.data > 0.5, Tensor(np.full(h.shape, float(self.v_reset))), h)
+        # Hard reset: spiking neurons return to v_reset.  The fill tensor is
+        # constant per (state shape, reset value), so it is cached rather
+        # than re-allocated at every time step; the value check covers
+        # direct ``node.v_reset = ...`` mutation (e.g. the reset-mode
+        # ablation).
+        value = float(self.v_reset)
+        cached = self._reset_cache
+        if cached is None or cached[0] != value or cached[1].shape != h.shape:
+            self._reset_cache = cached = (value, Tensor(np.full(h.shape, value)))
+        return where(spike.data > 0.5, cached[1], h)
 
     def forward(self, x: Tensor) -> Tensor:
         """Advance the neuron by a single time step and return the spike output."""
@@ -168,12 +185,27 @@ class BaseNode(Module):
         self.v = self._reset(h, spike)
         return spike
 
+    # ------------------------------------------------------------------
+    # Fused inference lowering
+    # ------------------------------------------------------------------
+    def _inference_inv_tau(self) -> Optional[float]:
+        """Scalar reciprocal time constant of the charge step (None = IF)."""
+
+        raise NotImplementedError(
+            f"{type(self).__name__} does not define its fused charge dynamics")
+
+    def lower_inference(self, builder) -> None:
+        builder.add_neuron(self._inference_inv_tau(), self.v_threshold, self.v_reset)
+
 
 class IFNode(BaseNode):
     """Integrate-and-fire neuron (no leak): ``H_t = v_{t-1} + x_t``."""
 
     def _charge(self, x: Tensor) -> Tensor:
         return self.v + x
+
+    def _inference_inv_tau(self) -> Optional[float]:
+        return None
 
 
 class LIFNode(BaseNode):
@@ -192,6 +224,9 @@ class LIFNode(BaseNode):
     def _charge(self, x: Tensor) -> Tensor:
         rest = 0.0 if self.v_reset is None else float(self.v_reset)
         return self.v + (x - (self.v - rest)) * (1.0 / self.tau)
+
+    def _inference_inv_tau(self) -> Optional[float]:
+        return 1.0 / self.tau
 
 
 class PLIFNode(BaseNode):
@@ -213,14 +248,22 @@ class PLIFNode(BaseNode):
 
     @property
     def tau(self) -> float:
-        """Current membrane time constant implied by the learnable parameter."""
+        """Current membrane time constant implied by the learnable parameter.
 
-        return float(1.0 / (1.0 / (1.0 + np.exp(-self.w.data))))
+        ``tau = 1 / sigmoid(w)`` simplifies to ``1 + exp(-w)``.
+        """
+
+        return float(1.0 + np.exp(-self.w.data))
 
     def _charge(self, x: Tensor) -> Tensor:
         rest = 0.0 if self.v_reset is None else float(self.v_reset)
         reciprocal_tau = self.w.sigmoid()
         return self.v + (x - (self.v - rest)) * reciprocal_tau
+
+    def _inference_inv_tau(self) -> Optional[float]:
+        # Identical expression to Tensor.sigmoid so the fused charge step
+        # multiplies by the exact same scalar as the autograd forward.
+        return float(1.0 / (1.0 + np.exp(-self.w.data)))
 
 
 def spiking_nodes(module: Module) -> list[BaseNode]:

@@ -323,6 +323,7 @@ class _ChainTable:
     rows2d: np.ndarray      # (chains, max_sites) fault rows, padded with 0
     bits2d: np.ndarray      # (chains, max_sites) bit positions, padded with 0
     stuck2d: np.ndarray     # (chains, max_sites) stuck values, padded with 0
+    out_idx2d: np.ndarray   # (chains, n_out) output features per chain
     n_out: int
 
 
@@ -470,7 +471,9 @@ class BatchedSystolicArray:
             tables.append(_ChainTable(
                 chains=group,
                 map_ids=np.array([chain.map_index for chain in group], dtype=np.int64),
-                rows2d=rows2d, bits2d=bits2d, stuck2d=stuck2d, n_out=n_out))
+                rows2d=rows2d, bits2d=bits2d, stuck2d=stuck2d,
+                out_idx2d=np.stack([chain.out_idx for chain in group]),
+                n_out=n_out))
         self._chain_cache[out_features] = tables
         return tables
 
@@ -699,6 +702,7 @@ class BatchedSystolicArray:
         # Chunk the chain axis so the gathered (chains, batch, tile_rows)
         # stacks stay bounded for wide (e.g. folded convolution) batches.
         block = max(1, _CHAIN_BLOCK_ELEMENTS // max(1, batch * max(self.rows, n_out)))
+        batch_idx = np.arange(batch)[None, :, None]
         for start in range(0, n_chains, block):
             chunk = slice(start, min(start + block, n_chains))
             size = chunk.stop - chunk.start
@@ -720,14 +724,23 @@ class BatchedSystolicArray:
                     candidate = self._apply_stuck_block(acc + segment,
                                                         table.bits2d[chunk, level],
                                                         table.stuck2d[chunk, level])
-                    acc = np.where(active[:, None, None], candidate, acc)
+                    if active.all():
+                        acc = candidate
+                    else:
+                        acc = np.where(active[:, None, None], candidate, acc)
                 tails = np.matmul(x_stack, tile.tail_stack[chunk])
-                applied = (n_sites > 0)[:, None, None]
-                col_out += np.where(applied, acc + tails, tails)
+                applied = n_sites > 0
+                if applied.all():
+                    col_out += acc + tails
+                elif not applied.any():
+                    col_out += tails
+                else:
+                    col_out += np.where(applied[:, None, None], acc + tails, tails)
 
-            for c in range(chunk.start, chunk.stop):
-                chain = table.chains[c]
-                output[chain.map_index][:, chain.out_idx] = col_out[c - chunk.start]
+            # One fancy-indexed scatter for the whole chunk: every chain's
+            # columns land in its own map's output slice.
+            output[table.map_ids[chunk][:, None, None], batch_idx,
+                   table.out_idx2d[chunk][:, None, :]] = col_out
 
     def _apply_stuck_block(self, values: np.ndarray, bits: np.ndarray,
                            stuck: np.ndarray) -> np.ndarray:

@@ -60,7 +60,8 @@ class TestCampaignCommand:
     def test_campaign_parser_defaults(self):
         args = build_parser().parse_args(["campaign", "counts"])
         assert args.sweep == "counts"
-        assert args.engine == "batched"
+        assert args.engine == "fused"
+        assert args.dtype == "float64"
         assert args.workers == 1
         assert args.cache_dir is None
 

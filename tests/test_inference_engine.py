@@ -1,0 +1,482 @@
+"""Tests for the fused no-autograd inference engine.
+
+Covers: bit-identity of the fused float64 plan with the autograd forward
+across neuron types x reset modes x threshold modes, the float32 tolerance
+mode, lowering errors, fault-engine equivalence with the sequential and
+batched autograd paths (including bypass and clean-prefix sharing), and the
+campaign-runner integration.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.autograd import Tensor, no_grad
+from repro.datasets import DataLoader
+from repro.faults import (
+    CampaignPoint,
+    CampaignRunner,
+    evaluate_with_faults,
+    evaluate_with_faults_batched,
+    fault_maps_for_trials,
+    random_fault_map,
+)
+from repro.faults.injection import BatchedFaultInjector, build_faulty_array
+from repro.snn import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    FusedFaultEngine,
+    FusedInferenceEngine,
+    IFNode,
+    LIFNode,
+    Linear,
+    LoweringError,
+    MaxPool2d,
+    Module,
+    PLIFNode,
+    Sequential,
+    SpikingClassifier,
+    build_model_for_dataset,
+    compile_for_inference,
+    lower_plan,
+)
+from repro.snn.inference.plan import NeuronSpec
+from repro.systolic import BatchedSystolicArray, DEFAULT_ACCUMULATOR_FORMAT
+
+FMT = DEFAULT_ACCUMULATOR_FORMAT
+
+
+def _autograd_rates(model, x) -> np.ndarray:
+    model.eval()
+    with no_grad():
+        return model(Tensor(x)).data
+
+
+def _make_neuron(kind: str, v_reset, learnable: bool):
+    kwargs = dict(v_reset=v_reset, learnable_threshold=learnable, v_threshold=0.8)
+    if kind == "if":
+        return IFNode(**kwargs)
+    if kind == "lif":
+        return LIFNode(tau=1.7, **kwargs)
+    return PLIFNode(init_tau=1.4, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Clean engine: float64 bit-identity with the autograd forward
+# ----------------------------------------------------------------------
+class TestCleanEngineBitIdentity:
+    @pytest.mark.parametrize("kind", ["if", "lif", "plif"])
+    @pytest.mark.parametrize("v_reset", [0.0, None], ids=["hard", "soft"])
+    @pytest.mark.parametrize("learnable", [False, True], ids=["fixed", "learnable"])
+    def test_neuron_grid(self, kind, v_reset, learnable, rng):
+        layers = Sequential(
+            Linear(12, 10, rng=rng),
+            _make_neuron(kind, v_reset, learnable),
+            Linear(10, 4, rng=rng),
+            _make_neuron(kind, v_reset, learnable),
+        )
+        model = SpikingClassifier(layers, time_steps=5)
+        x = rng.random((7, 12))
+        reference = _autograd_rates(model, x)
+        fused = FusedInferenceEngine(model).run(x)
+        assert reference.tobytes() == fused.tobytes()
+
+    def test_conv_classifier(self, rng):
+        model, _ = build_model_for_dataset("mnist", channels=6, hidden_units=32,
+                                           time_steps=3, seed=5)
+        x = rng.random((4, 1, 16, 16))
+        reference = _autograd_rates(model, x)
+        fused = compile_for_inference(model).run(x)
+        assert reference.tobytes() == fused.tobytes()
+
+    def test_max_pool_and_dropout_eval(self, rng):
+        layers = Sequential(
+            Conv2d(1, 3, kernel_size=3, padding=1, rng=rng),
+            BatchNorm2d(3),
+            PLIFNode(init_tau=1.3),
+            MaxPool2d(2),
+            Flatten(),
+            Dropout(0.5, rng=rng),
+            Linear(3 * 4 * 4, 5, rng=rng),
+            PLIFNode(init_tau=1.3),
+        )
+        model = SpikingClassifier(layers, time_steps=4)
+        x = rng.random((3, 1, 8, 8))
+        reference = _autograd_rates(model, x)
+        fused = FusedInferenceEngine(model).run(x)
+        assert reference.tobytes() == fused.tobytes()
+
+    def test_event_input_time_major(self, rng):
+        model, _ = build_model_for_dataset("nmnist", channels=4, hidden_units=16,
+                                           time_steps=3, seed=2)
+        # 5D event input (T, batch, C, H, W) overrides the model's T.
+        x = (rng.random((6, 2, 2, 16, 16)) > 0.7).astype(np.float64)
+        reference = _autograd_rates(model, x)
+        fused = compile_for_inference(model).run(x)
+        assert reference.tobytes() == fused.tobytes()
+
+    def test_batch_norm_running_stats_respected(self, rng):
+        layers = Sequential(Conv2d(1, 3, kernel_size=3, padding=1, rng=rng),
+                            BatchNorm2d(3), PLIFNode(init_tau=1.3),
+                            Flatten(), Linear(3 * 16, 4, rng=rng),
+                            PLIFNode(init_tau=1.3))
+        model = SpikingClassifier(layers, time_steps=2)
+        # Perturb running statistics away from their init to catch engines
+        # that quietly recompute batch statistics.
+        bn = layers[1]
+        bn.running_mean[...] = rng.normal(size=3)
+        bn.running_var[...] = 1.0 + rng.random(3)
+        x = rng.random((5, 1, 4, 4))
+        reference = _autograd_rates(model, x)
+        fused = FusedInferenceEngine(model).run(x)
+        assert reference.tobytes() == fused.tobytes()
+
+    def test_predict_and_evaluate_match_model(self, trained_tiny_model,
+                                              tiny_mnist_loaders):
+        _, test_loader = tiny_mnist_loaders
+        engine = compile_for_inference(trained_tiny_model)
+        inputs, labels = next(iter(test_loader))
+        assert np.array_equal(engine.predict(inputs),
+                              trained_tiny_model.predict(inputs))
+        correct = total = 0
+        for inputs, labels in test_loader:
+            correct += int(np.sum(trained_tiny_model.predict(inputs) == labels))
+            total += labels.shape[0]
+        assert engine.evaluate(test_loader) == correct / total
+
+    @settings(max_examples=15, deadline=None)
+    @given(data=st.data(),
+           kind=st.sampled_from(["if", "lif", "plif"]),
+           v_reset=st.sampled_from([0.0, -0.2, None]),
+           steps=st.integers(min_value=1, max_value=6))
+    def test_neuron_dynamics_property(self, data, kind, v_reset, steps):
+        """Fused neuron updates are bit-identical over arbitrary drive."""
+
+        seed = data.draw(st.integers(min_value=0, max_value=2**31 - 1))
+        gen = np.random.default_rng(seed)
+        layers = Sequential(_make_neuron(kind, v_reset, learnable=False))
+        model = SpikingClassifier(layers, time_steps=steps)
+        x = gen.normal(scale=1.5, size=(steps, 3, 8))  # time-major drive
+        reference = _autograd_rates(model, x)
+        fused = FusedInferenceEngine(model).run(x)
+        assert reference.tobytes() == fused.tobytes()
+
+
+# ----------------------------------------------------------------------
+# float32 tolerance mode
+# ----------------------------------------------------------------------
+class TestFloat32Mode:
+    def test_rates_close_and_predictions_mostly_agree(self, trained_tiny_model,
+                                                      tiny_mnist_loaders):
+        _, test_loader = tiny_mnist_loaders
+        inputs, _ = next(iter(test_loader))
+        rates64 = compile_for_inference(trained_tiny_model).run(inputs)
+        rates32 = compile_for_inference(trained_tiny_model, dtype="float32").run(inputs)
+        assert rates32.dtype == np.float32
+        # Away from spike-threshold flips the two dtypes agree to rounding;
+        # a flip changes a rate by 1/T, so compare distributionally.
+        diff = np.abs(rates64 - rates32)
+        assert np.median(diff) < 1e-6
+        assert np.mean(diff) < 0.02
+        agree = np.mean(np.argmax(rates64, axis=1) == np.argmax(rates32, axis=1))
+        assert agree >= 0.9
+
+    def test_float32_fault_accuracies_close(self, trained_tiny_model,
+                                            tiny_mnist_loaders):
+        _, test_loader = tiny_mnist_loaders
+        maps = fault_maps_for_trials(16, 16, 4, 3, bit_position=FMT.magnitude_msb,
+                                     stuck_type="sa1", seed=5)
+        acc64 = evaluate_with_faults_batched(trained_tiny_model, test_loader,
+                                             fault_maps=maps)
+        acc32 = evaluate_with_faults_batched(trained_tiny_model, test_loader,
+                                             fault_maps=maps, dtype="float32")
+        assert np.allclose(acc64, acc32, atol=0.1)
+
+    def test_unknown_dtype_rejected(self, trained_tiny_model):
+        with pytest.raises(ValueError):
+            compile_for_inference(trained_tiny_model, dtype="float16")
+
+
+# ----------------------------------------------------------------------
+# Lowering
+# ----------------------------------------------------------------------
+class TestLowering:
+    def test_unsupported_module_raises(self):
+        class Custom(Module):
+            def forward(self, x):
+                return x
+
+        model = SpikingClassifier(Sequential(Custom()), time_steps=2)
+        with pytest.raises(LoweringError):
+            lower_plan(model)
+
+    def test_bare_stack_without_time_steps_raises(self, rng):
+        with pytest.raises(LoweringError):
+            lower_plan(Sequential(Linear(4, 2, rng=rng)))
+
+    def test_plan_structure(self):
+        model, _ = build_model_for_dataset("mnist", channels=6, hidden_units=32,
+                                           time_steps=3, seed=5)
+        plan = lower_plan(model)
+        affine = plan.affine_specs
+        # encoder conv + 2 block convs + 2 FC layers
+        assert [spec.kind for spec in affine] == ["conv"] * 3 + ["linear"] * 2
+        assert [spec.index for spec in affine] == list(range(5))
+        assert plan.num_affine == 5
+        # dropout lowers to nothing
+        assert all(not isinstance(op, type(None)) for op in plan.ops)
+        # static prefix = encoder conv + batch norm (everything before PLIF #1)
+        assert plan.static_prefix == 2
+        assert sum(isinstance(op, NeuronSpec) for op in plan.ops) == 5
+
+    def test_plif_cell_constants(self):
+        node = PLIFNode(init_tau=1.6, v_threshold=0.9)
+        assert node._inference_inv_tau() == pytest.approx(1.0 / 1.6)
+        assert node.tau == pytest.approx(1.6)
+
+
+# ----------------------------------------------------------------------
+# Fault engine equivalence
+# ----------------------------------------------------------------------
+class TestFaultEngineEquivalence:
+    @pytest.mark.parametrize("bypass", [False, True], ids=["faulty", "bypassed"])
+    def test_matches_sequential_autograd(self, trained_tiny_model,
+                                         tiny_mnist_loaders, bypass):
+        _, test_loader = tiny_mnist_loaders
+        maps = fault_maps_for_trials(16, 16, 5, 5, bit_position=FMT.magnitude_msb,
+                                     stuck_type="sa1", seed=7)
+        sequential = [
+            evaluate_with_faults(trained_tiny_model, test_loader, fault_map=m,
+                                 bypass=bypass, engine="autograd")
+            for m in maps
+        ]
+        fused = evaluate_with_faults_batched(trained_tiny_model, test_loader,
+                                             fault_maps=maps, bypass=bypass,
+                                             engine="fused")
+        assert fused == sequential
+
+    def test_single_map_fused_matches_autograd(self, trained_tiny_model,
+                                               tiny_mnist_loaders):
+        _, test_loader = tiny_mnist_loaders
+        fm = random_fault_map(16, 16, 8, bit_position=FMT.magnitude_msb,
+                              stuck_type="sa1", seed=3)
+        autograd = evaluate_with_faults(trained_tiny_model, test_loader,
+                                        fault_map=fm, engine="autograd")
+        fused = evaluate_with_faults(trained_tiny_model, test_loader, fault_map=fm)
+        assert fused == autograd
+
+    def test_rates_bit_identical_to_batched_injector(self, trained_tiny_model,
+                                                     tiny_mnist_loaders):
+        _, test_loader = tiny_mnist_loaders
+        maps = fault_maps_for_trials(16, 16, 2, 6, bit_position=FMT.magnitude_msb,
+                                     stuck_type="sa1", seed=11)
+        arrays = [build_faulty_array(m) for m in maps]
+        batched_array = BatchedSystolicArray.from_fault_maps(maps)
+        inputs, _ = next(iter(test_loader))
+        trained_tiny_model.eval()
+        with BatchedFaultInjector(trained_tiny_model, batched_array), no_grad():
+            reference = trained_tiny_model(Tensor(inputs)).data
+        reference = reference.reshape(len(maps), -1, 10)
+        engine = FusedFaultEngine(trained_tiny_model, arrays)
+        rates = engine.run(inputs)
+        assert reference.tobytes() == rates.tobytes()
+
+    def test_clean_prefix_sharing_structure(self, trained_tiny_model):
+        """Maps whose faults miss the early layers fork late (or never)."""
+
+        from repro.faults import StuckAtFault
+
+        fault = StuckAtFault(FMT.magnitude_msb, "sa1")
+        clean = random_fault_map(16, 16, 0, seed=0)
+        # Column 12 holds no output feature of the 6-channel conv layers
+        # (out_features = 6 < 16 columns), so this map must not fork there.
+        fc_only = random_fault_map(16, 16, 0, seed=1)
+        fc_only.add(3, 12, fault)
+        conv_hit = random_fault_map(16, 16, 0, seed=2)
+        conv_hit.add(5, 2, fault)
+        arrays = [build_faulty_array(m) for m in (clean, fc_only, conv_hit)]
+        engine = FusedFaultEngine(trained_tiny_model, arrays)
+        assert engine._divergence[0] is None          # never forks
+        assert engine._divergence[1] == 3             # first FC layer (index 3)
+        assert engine._divergence[2] == 0             # encoder conv
+        assert engine.fork_order == [2, 1]
+
+    def test_never_forking_map_equals_clean_accuracy(self, trained_tiny_model,
+                                                     tiny_mnist_loaders):
+        _, test_loader = tiny_mnist_loaders
+        clean_map = random_fault_map(16, 16, 0, seed=0)
+        faulty_map = random_fault_map(16, 16, 10, bit_position=FMT.magnitude_msb,
+                                      stuck_type="sa1", seed=4)
+        accuracies = evaluate_with_faults_batched(
+            trained_tiny_model, test_loader, fault_maps=[clean_map, faulty_map])
+        sequential = [
+            evaluate_with_faults(trained_tiny_model, test_loader, fault_map=m,
+                                 engine="autograd")
+            for m in (clean_map, faulty_map)
+        ]
+        assert accuracies == sequential
+
+    def test_event_input_faulty_equivalence(self, trained_tiny_model, rng):
+        maps = fault_maps_for_trials(16, 16, 4, 3, bit_position=FMT.magnitude_msb,
+                                     stuck_type="sa1", seed=6)
+        x = (rng.random((4, 3, 1, 16, 16)) > 0.6).astype(np.float64)
+        batched_array = BatchedSystolicArray.from_fault_maps(maps)
+        trained_tiny_model.eval()
+        with BatchedFaultInjector(trained_tiny_model, batched_array), no_grad():
+            reference = trained_tiny_model(Tensor(x)).data.reshape(len(maps), 3, 10)
+        engine = FusedFaultEngine(trained_tiny_model,
+                                  [build_faulty_array(m) for m in maps])
+        assert reference.tobytes() == engine.run(x).tobytes()
+
+    def test_chunked_chain_path_matches_sequential(self, rng, monkeypatch):
+        """Chain chunking (block=1) reproduces the unchunked results.
+
+        Regression test: chunks whose chains all have zero applied sites in
+        a partial tile must take the tail-only branch even when other
+        chunks of the group do not.
+        """
+
+        import repro.systolic.array as systolic_array
+
+        from repro.faults import StuckAtFault
+
+        layers = Sequential(Linear(5, 3, rng=rng), PLIFNode(init_tau=1.3))
+        model = SpikingClassifier(layers, time_steps=3)
+        fault = StuckAtFault(FMT.magnitude_msb, "sa1")
+        # 4x4 array, in_features=5 -> tiles of 4 and 1 rows.  Map A's fault
+        # (row 0) applies in both tiles; map B's fault (row 2) has no site
+        # in the 1-row tail tile.
+        map_a = random_fault_map(4, 4, 0, seed=0)
+        map_a.add(0, 0, fault)
+        map_b = random_fault_map(4, 4, 0, seed=0)
+        map_b.add(2, 0, fault)
+        maps = [map_a, map_b]
+        data = rng.random((6, 5)) * 2.0
+        labels = np.zeros(6, dtype=np.int64)
+        loader = [(data, labels)]
+        sequential = [evaluate_with_faults(model, loader, fault_map=m,
+                                           engine="autograd") for m in maps]
+        monkeypatch.setattr(systolic_array, "_CHAIN_BLOCK_ELEMENTS", 1)
+        arrays = [build_faulty_array(m) for m in maps]
+        fused = FusedFaultEngine(model, arrays).evaluate(loader)
+        assert fused == sequential
+        # Rates too, against the (equally chunked) batched injector.
+        model.eval()
+        with BatchedFaultInjector(
+                model, BatchedSystolicArray.from_fault_maps(maps)), no_grad():
+            reference = model(Tensor(data)).data.reshape(2, 6, 3)
+        rates = FusedFaultEngine(model, arrays).run(data)
+        assert reference.tobytes() == rates.tobytes()
+
+    def test_requires_arrays(self, trained_tiny_model):
+        with pytest.raises(ValueError):
+            FusedFaultEngine(trained_tiny_model, [])
+
+    def test_invalid_engine_rejected(self, trained_tiny_model, tiny_mnist_loaders):
+        _, test_loader = tiny_mnist_loaders
+        fm = random_fault_map(8, 8, 2, seed=1)
+        with pytest.raises(ValueError):
+            evaluate_with_faults(trained_tiny_model, test_loader, fault_map=fm,
+                                 engine="turbo")
+        with pytest.raises(ValueError):
+            evaluate_with_faults(trained_tiny_model, test_loader, fault_map=fm,
+                                 engine="autograd", dtype="float32")
+
+
+# ----------------------------------------------------------------------
+# Campaign integration
+# ----------------------------------------------------------------------
+class TestCampaignIntegration:
+    def test_fused_records_match_other_engines(self, trained_tiny_model,
+                                               tiny_mnist_loaders):
+        _, test_loader = tiny_mnist_loaders
+        points = [
+            CampaignPoint.for_trials(16, 16, count, trials=3,
+                                     bit_position=FMT.magnitude_msb,
+                                     stuck_type="sa1", seed=20 + count)
+            for count in (2, 6)
+        ]
+        records = {}
+        for engine in ("fused", "batched", "sequential"):
+            runner = CampaignRunner(trained_tiny_model, test_loader, engine=engine)
+            records[engine] = runner.run(points)
+        assert records["fused"] == records["batched"]
+        assert records["fused"] == records["sequential"]
+
+    def test_fused_baseline_accuracy_matches_software(self, trained_tiny_model,
+                                                      tiny_mnist_loaders):
+        from repro.faults import baseline_accuracy
+
+        _, test_loader = tiny_mnist_loaders
+        runner = CampaignRunner(trained_tiny_model, test_loader, engine="fused")
+        assert runner.baseline_accuracy() == baseline_accuracy(
+            trained_tiny_model, test_loader)
+
+    def test_float32_requires_fused(self, trained_tiny_model, tiny_mnist_loaders):
+        _, test_loader = tiny_mnist_loaders
+        with pytest.raises(ValueError):
+            CampaignRunner(trained_tiny_model, test_loader, engine="batched",
+                           dtype="float32")
+
+    def test_float32_gets_its_own_cache_key(self, trained_tiny_model,
+                                            tiny_mnist_loaders):
+        _, test_loader = tiny_mnist_loaders
+        point = CampaignPoint.for_trials(16, 16, 4, trials=2, seed=1)
+        runner64 = CampaignRunner(trained_tiny_model, test_loader)
+        runner32 = CampaignRunner(trained_tiny_model, test_loader, dtype="float32")
+        payload64 = runner64._cache_payload(point)
+        payload32 = runner32._cache_payload(point)
+        assert "dtype" not in payload64  # float64 keeps historic cache keys
+        assert payload32["dtype"] == "float32"
+
+
+# ----------------------------------------------------------------------
+# Neuron-layer satellites (cached constants, PLIF tau)
+# ----------------------------------------------------------------------
+class TestNeuronCaches:
+    def test_hard_reset_constant_reused_across_steps(self, rng):
+        node = LIFNode(tau=1.5, v_reset=0.3)
+        x = Tensor(rng.random((4, 6)) * 2.0)
+        node(x)
+        first = node._reset_cache
+        assert first is not None and first[1].shape == (4, 6)
+        node(x)
+        assert node._reset_cache is first
+        # New state shape -> new cached constant.
+        node.reset_state()
+        node(Tensor(rng.random((2, 6))))
+        assert node._reset_cache is not first
+        assert float(node._reset_cache[1].data[0, 0]) == 0.3
+
+    def test_hard_reset_cache_tracks_v_reset_mutation(self):
+        node = IFNode(v_threshold=0.5, v_reset=0.0)
+        drive = Tensor(np.full((2, 3), 1.0))
+        node(drive)
+        assert np.all(node.v.data == 0.0)  # fired, pinned to v_reset=0.0
+        # Direct attribute mutation (as the reset-mode ablation does).
+        node.v_reset = 0.25
+        node.reset_state()
+        node(drive)
+        assert np.all(node.v.data == 0.25)
+
+    def test_fixed_threshold_cache_invalidated_on_set(self, rng):
+        node = IFNode(v_threshold=1.0)
+        x = Tensor(rng.random((2, 3)))
+        node(x)
+        cached = node._threshold_cache
+        assert cached is not None and float(cached.data) == 1.0
+        node.set_threshold(0.5)
+        node.reset_state()
+        spikes = node(Tensor(np.full((2, 3), 0.75)))
+        assert float(node.threshold_tensor().data) == 0.5
+        assert np.all(spikes.data == 1.0)  # 0.75 > 0.5 threshold
+
+    def test_plif_tau_simplification(self):
+        for init_tau in (1.1, 1.5, 2.0, 4.0):
+            node = PLIFNode(init_tau=init_tau)
+            assert node.tau == pytest.approx(init_tau, rel=1e-12)
+            w = float(node.w.data)
+            assert node.tau == 1.0 + np.exp(-w)
