@@ -8,7 +8,9 @@ reports:
   the fused engine's speedup over the batched autograd engine,
 * that all engines produce **identical** records (same accuracies, same
   seeds -- the float64 bit-identity guarantee),
-* the on-disk cache: a warm re-run answers from JSON without simulating.
+* the on-disk cache: a warm re-run answers from JSON without simulating,
+* the sharded orchestrator: a 2-worker chunked sweep produces byte-identical
+  records and a resumed sweep answers from the unit cache.
 
 The sweep is evaluated in the streaming regime (small evaluation batches),
 which is where re-running a full inference per fault map pays the most
@@ -161,6 +163,54 @@ def test_bench_campaign_cache_hit(campaign_setup, tmp_path):
     assert list(tmp_path.glob("*.json")), "cache directory is empty"
     # A warm sweep must not re-simulate: >=5x is conservative (typically >50x).
     assert speedup >= 5.0, f"cache-hit speedup only {speedup:.2f}x"
+
+
+def test_bench_campaign_orchestrator(campaign_setup, tmp_path):
+    """Orchestrated sweeps: identical records, and resume skips all work.
+
+    Byte-identity of the orchestrated/sharded records with the serial
+    runner is the acceptance property; wall-clock is reported but not
+    asserted (on single-core CI boxes the fork pool cannot win, and the
+    worker processes re-lower the model once each -- the pool pays off on
+    multi-core hosts with larger grids).
+    """
+
+    import json
+
+    from repro.faults import CampaignPoint, CampaignRunner
+
+    model, loader = campaign_setup
+    points = [
+        CampaignPoint.for_trials(
+            CAMPAIGN_CONFIG.array_rows, CAMPAIGN_CONFIG.array_cols, count,
+            TRIALS, bit_position=None, stuck_type="sa1",
+            seed=CAMPAIGN_CONFIG.seed + count, label="bench", dataset="mnist")
+        for count in COUNTS if count
+    ]
+
+    start = time.perf_counter()
+    serial = CampaignRunner(model, loader).run(points)
+    serial_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    orchestrated = CampaignRunner(model, loader, workers=2, trial_chunk=2,
+                                  cache_dir=tmp_path / "pool").run(points)
+    pool_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    resumed = CampaignRunner(model, loader, workers=2, trial_chunk=2,
+                             cache_dir=tmp_path / "pool").run(points)
+    resume_time = time.perf_counter() - start
+
+    print(f"\norchestrator: serial {serial_time:.2f}s, 2 workers "
+          f"{pool_time:.2f}s, resume {resume_time:.3f}s "
+          f"({pool_time / max(resume_time, 1e-9):.0f}x)")
+
+    canonical = lambda records: json.dumps(records, sort_keys=True)  # noqa: E731
+    assert canonical(orchestrated) == canonical(serial)
+    assert canonical(resumed) == canonical(serial)
+    # A resumed sweep answers purely from the unit cache.
+    assert resume_time < 0.5 * pool_time
 
 
 def test_bench_campaign_scaling_with_trials(campaign_setup):

@@ -15,6 +15,17 @@ Fault-injection campaigns run directly on the campaign engine::
     python -m repro campaign counts --engine fused --dtype float32
     python -m repro campaign sizes --sizes 8,16,32 --workers 4 --cache-dir .cache
 
+Sweeps scale out through the campaign orchestrator: ``--workers K`` pulls
+work units from a crash-tolerant work-stealing queue, ``--resume``
+persists unit results so an interrupted sweep continues where it stopped,
+and ``--shard i/N`` splits one sweep across N machines sharing a cache
+directory::
+
+    python -m repro campaign counts --trials 8 --workers 4 --resume
+    python -m repro campaign counts --shard 0/2 --cache-dir sweep-cache
+    python -m repro campaign counts --shard 1/2 --cache-dir sweep-cache
+    python -m repro campaign counts --cache-dir sweep-cache  # merge
+
 The CLI is a thin layer over :mod:`repro.experiments` and
 :mod:`repro.faults`; anything it can do is also available programmatically.
 """
@@ -92,6 +103,20 @@ def _int_list(text: str) -> List[int]:
     return [int(part) for part in text.split(",") if part.strip()]
 
 
+def _shard_spec(text: str):
+    from .faults import ShardSpec
+
+    try:
+        return ShardSpec.parse(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+#: Cache directory used when ``--resume``/``--shard`` are given without an
+#: explicit ``--cache-dir``.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
 def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--engine", choices=("fused", "batched", "sequential"),
                         default="fused",
@@ -102,9 +127,51 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
                         help="fused-engine evaluation dtype (float32 trades "
                              "bit-identity for speed)")
     parser.add_argument("--workers", type=int, default=1,
-                        help="worker processes for cross-point parallelism")
+                        help="worker processes pulling sweep units from the "
+                             "orchestrator's work-stealing queue (1 = serial)")
     parser.add_argument("--cache-dir", default=None,
-                        help="directory for on-disk result caching")
+                        help="directory for on-disk result caching (doubles "
+                             "as the shard coordination layer)")
+    parser.add_argument("--shard", type=_shard_spec, default=None, metavar="i/N",
+                        help="run only shard i of an N-way sweep split "
+                             "(0-based); shards pointed at the same cache "
+                             "directory partition the work units exactly "
+                             "(sweep experiments only)")
+    parser.add_argument("--trial-chunk", type=int, default=None, metavar="K",
+                        help="split each sweep point into work units of at "
+                             "most K trials (default: one unit per point)")
+    parser.add_argument("--resume", action="store_true",
+                        help=f"cache results under {DEFAULT_CACHE_DIR}/ (when "
+                             "no --cache-dir is given) so an interrupted "
+                             "sweep continues where it stopped")
+
+
+def _resolve_cache_dir(args: argparse.Namespace) -> Optional[str]:
+    """Cache directory implied by --cache-dir / --resume / --shard."""
+
+    if args.cache_dir:
+        return args.cache_dir
+    if args.resume or args.shard is not None:
+        return DEFAULT_CACHE_DIR
+    return None
+
+
+def _print_progress(event: dict) -> None:
+    kind = event.get("kind")
+    if kind == "unit-done":
+        position = (f"{event['completed']}/{event['total']}"
+                    if "completed" in event else f"point {event.get('point_index')}")
+        eta = event.get("eta_seconds")
+        eta_text = f", eta {eta:.0f}s" if eta is not None else ""
+        print(f"  unit {position} done: point {event.get('point_index')} "
+              f"chunk {event.get('chunk_index')} in {event.get('seconds', 0.0):.2f}s"
+              f"{eta_text}")
+    elif kind == "unit-failed":
+        print(f"  unit for point {event.get('point_index')} failed on attempt "
+              f"{event.get('attempt')}: {event.get('error')}")
+    elif kind == "worker-crash":
+        print(f"  worker {event.get('pid')} died (exit {event.get('exitcode')}); "
+              f"rescheduling its unit if attempts remain")
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -144,11 +211,29 @@ def _engine_kwargs_for(runner, args: argparse.Namespace) -> dict:
 
     accepted = inspect.signature(runner).parameters
     options = {"engine": args.engine, "workers": args.workers,
-               "cache_dir": args.cache_dir, "dtype": args.dtype}
+               "cache_dir": _resolve_cache_dir(args), "dtype": args.dtype,
+               "shard": args.shard, "trial_chunk": args.trial_chunk}
+    if args.workers > 1 or args.shard is not None:
+        options["progress"] = _print_progress
     return {key: value for key, value in options.items() if key in accepted}
 
 
+def _report_pending_shard(exc, args: argparse.Namespace) -> int:
+    """Explain a sharded sweep that is waiting on its sibling shards."""
+
+    cache_dir = _resolve_cache_dir(args)
+    print(f"shard {args.shard} finished its work units; "
+          f"{len(exc.pending)} sweep point(s) still need units from other "
+          f"shards.")
+    print(f"run the remaining shards against --cache-dir {cache_dir}, then "
+          f"re-run this command without --shard (or with --resume) to merge "
+          f"the records from the cache.")
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    from .faults import PendingShardError
+
     spec = get_experiment(args.experiment)
     overrides = {}
     if args.seed is not None:
@@ -156,7 +241,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     config = default_config(args.dataset, scale=args.scale, **overrides)
     print(f"running {spec.experiment_id} ({spec.paper_artifact}) on {args.dataset} "
           f"[{args.scale} scale]")
-    records = spec.runner(config, **_engine_kwargs_for(spec.runner, args))
+    try:
+        records = spec.runner(config, **_engine_kwargs_for(spec.runner, args))
+    except PendingShardError as exc:
+        return _report_pending_shard(exc, args)
     if records and isinstance(records, list) and isinstance(records[0], dict):
         print(format_table(records, title=f"{spec.experiment_id} records"))
     if args.out:
@@ -167,7 +255,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from .experiments import prepare_baseline
-    from .faults import sweep_array_sizes, sweep_bit_locations, sweep_faulty_pe_count
+    from .faults import (
+        PendingShardError,
+        sweep_array_sizes,
+        sweep_bit_locations,
+        sweep_faulty_pe_count,
+    )
     from .systolic import DEFAULT_ACCUMULATOR_FORMAT
     from .utils.rng import derive_seed
 
@@ -177,38 +270,48 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     config = default_config(args.dataset, scale=args.scale, **overrides)
     baseline = prepare_baseline(config)
     model = baseline.model_factory()
+    cache_dir = _resolve_cache_dir(args)
     engine_options = dict(engine=args.engine, workers=args.workers,
-                          cache_dir=args.cache_dir, dtype=args.dtype)
+                          cache_dir=cache_dir, dtype=args.dtype,
+                          shard=args.shard, trial_chunk=args.trial_chunk)
+    if args.workers > 1 or args.shard is not None:
+        engine_options["progress"] = _print_progress
+    shard_text = f", shard {args.shard}" if args.shard is not None else ""
+    cache_text = f", cache {cache_dir}" if cache_dir else ""
     print(f"campaign '{args.sweep}' on {args.dataset} [{args.scale} scale, "
-          f"{args.engine} engine, dtype={args.dtype}, workers={args.workers}]")
+          f"{args.engine} engine, dtype={args.dtype}, workers={args.workers}"
+          f"{shard_text}{cache_text}]")
 
-    if args.sweep == "bits":
-        top = DEFAULT_ACCUMULATOR_FORMAT.magnitude_msb
-        bits = args.bits if args.bits is not None else sorted(set(range(0, top + 1, 2)) | {top})
-        records = sweep_bit_locations(
-            model, baseline.test_loader,
-            rows=config.array_rows, cols=config.array_cols,
-            bit_positions=bits, trials=args.trials, stuck_types=(args.stuck,),
-            dataset=config.dataset, seed=derive_seed(config.seed, "fig5a"),
-            **engine_options)
-        columns = ["dataset", "stuck_type", "bit_position", "accuracy", "accuracy_std"]
-    elif args.sweep == "counts":
-        counts = args.counts if args.counts is not None else [0, 2, 4, 8, 16]
-        records = sweep_faulty_pe_count(
-            model, baseline.test_loader,
-            rows=config.array_rows, cols=config.array_cols,
-            counts=counts, trials=args.trials, stuck_type=args.stuck,
-            dataset=config.dataset, seed=derive_seed(config.seed, "fig5b"),
-            **engine_options)
-        columns = ["dataset", "num_faulty_pes", "fault_rate", "accuracy", "accuracy_std"]
-    else:
-        sizes = args.sizes if args.sizes is not None else [4, 8, 16, 32]
-        records = sweep_array_sizes(
-            model, baseline.test_loader,
-            sizes=sizes, num_faulty=4, trials=args.trials, stuck_type=args.stuck,
-            dataset=config.dataset, seed=derive_seed(config.seed, "fig5c"),
-            **engine_options)
-        columns = ["dataset", "array_size", "num_faulty_pes", "accuracy", "accuracy_std"]
+    try:
+        if args.sweep == "bits":
+            top = DEFAULT_ACCUMULATOR_FORMAT.magnitude_msb
+            bits = args.bits if args.bits is not None else sorted(set(range(0, top + 1, 2)) | {top})
+            records = sweep_bit_locations(
+                model, baseline.test_loader,
+                rows=config.array_rows, cols=config.array_cols,
+                bit_positions=bits, trials=args.trials, stuck_types=(args.stuck,),
+                dataset=config.dataset, seed=derive_seed(config.seed, "fig5a"),
+                **engine_options)
+            columns = ["dataset", "stuck_type", "bit_position", "accuracy", "accuracy_std"]
+        elif args.sweep == "counts":
+            counts = args.counts if args.counts is not None else [0, 2, 4, 8, 16]
+            records = sweep_faulty_pe_count(
+                model, baseline.test_loader,
+                rows=config.array_rows, cols=config.array_cols,
+                counts=counts, trials=args.trials, stuck_type=args.stuck,
+                dataset=config.dataset, seed=derive_seed(config.seed, "fig5b"),
+                **engine_options)
+            columns = ["dataset", "num_faulty_pes", "fault_rate", "accuracy", "accuracy_std"]
+        else:
+            sizes = args.sizes if args.sizes is not None else [4, 8, 16, 32]
+            records = sweep_array_sizes(
+                model, baseline.test_loader,
+                sizes=sizes, num_faulty=4, trials=args.trials, stuck_type=args.stuck,
+                dataset=config.dataset, seed=derive_seed(config.seed, "fig5c"),
+                **engine_options)
+            columns = ["dataset", "array_size", "num_faulty_pes", "accuracy", "accuracy_std"]
+    except PendingShardError as exc:
+        return _report_pending_shard(exc, args)
 
     print(format_table(records, columns=columns, title=f"campaign {args.sweep} records"))
     if args.out:

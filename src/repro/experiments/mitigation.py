@@ -7,10 +7,12 @@ per-layer threshold voltages that FalVolt converged to, which is exactly
 what the paper's Fig. 6 reports.
 
 Every (fault rate, method) cell is an independent retraining run, so both
-drivers execute their grids through the campaign engine's helpers
-(:func:`repro.faults.campaign.map_grid` for an optional worker pool and
-:func:`repro.faults.campaign.cached_record` for on-disk caching keyed by the
-baseline weights and the grid cell).
+drivers execute their grids through the campaign engine's helpers:
+:func:`repro.faults.campaign.map_grid` fans cells out over the
+orchestrator's crash-tolerant work-stealing pool (a cell that raises or
+loses its worker is retried once on another worker), and
+:func:`repro.faults.campaign.cached_record` provides on-disk caching keyed
+by the baseline weights and the grid cell, so interrupted grids resume.
 """
 
 from __future__ import annotations

@@ -1,8 +1,10 @@
 """Permanent-fault injection framework for systolicSNNs.
 
 Stuck-at fault models, per-chip fault maps, injectors that attach a faulty
-systolic array to a trained SNN, and the vulnerability sweep drivers that
-regenerate the paper's Fig. 5.
+systolic array to a trained SNN, the vulnerability sweep drivers that
+regenerate the paper's Fig. 5, the batched campaign engine, and the sharded
+orchestrator that scales whole sweeps across worker processes and machines
+(see ``docs/ARCHITECTURE.md``).
 """
 
 from .fault_model import StuckAtFault, StuckAtType, lsb_fault, msb_fault
@@ -21,6 +23,14 @@ from .injection import (
     evaluate_with_faults_batched,
 )
 from .campaign import CampaignPoint, CampaignRunner, cached_record, map_grid
+from .orchestrator import (
+    CampaignOrchestrator,
+    OrchestratorResult,
+    PendingShardError,
+    ShardSpec,
+    SweepReport,
+    WorkUnit,
+)
 from .analysis import (
     baseline_accuracy,
     sweep_array_sizes,
@@ -55,6 +65,12 @@ __all__ = [
     "evaluate_with_faults_batched",
     "CampaignPoint",
     "CampaignRunner",
+    "CampaignOrchestrator",
+    "OrchestratorResult",
+    "PendingShardError",
+    "ShardSpec",
+    "SweepReport",
+    "WorkUnit",
     "map_grid",
     "cached_record",
     "baseline_accuracy",

@@ -21,7 +21,10 @@ the selected engine.  The default ``"fused"`` engine simulates all of a
 point's fault maps in one no-autograd pass with clean-prefix sharing; it
 and the ``"batched"`` autograd pass produce records bit-identical to the
 ``"sequential"`` reference (``dtype="float32"`` relaxes that to a
-tolerance for speed).
+tolerance for speed).  ``workers``, ``shard``, ``trial_chunk`` and
+``progress`` route the sweep through the sharded orchestrator
+(:mod:`repro.faults.orchestrator`) for parallel, resumable and
+multi-machine execution with unchanged records.
 """
 
 from __future__ import annotations
@@ -57,9 +60,12 @@ def baseline_accuracy(model, loader) -> float:
 
 
 def _make_runner(model, loader, fmt: FixedPointFormat, engine: str,
-                 workers: int, cache_dir, dtype: str) -> CampaignRunner:
+                 workers: int, cache_dir, dtype: str, shard, trial_chunk,
+                 progress) -> CampaignRunner:
     return CampaignRunner(model, loader, fmt=fmt, engine=engine,
-                          workers=workers, cache_dir=cache_dir, dtype=dtype)
+                          workers=workers, cache_dir=cache_dir, dtype=dtype,
+                          shard=shard, trial_chunk=trial_chunk,
+                          progress=progress)
 
 
 def sweep_bit_locations(model, loader, *,
@@ -74,7 +80,10 @@ def sweep_bit_locations(model, loader, *,
                         engine: str = "fused",
                         workers: int = 1,
                         cache_dir=None,
-                        dtype: str = "float64") -> List[dict]:
+                        dtype: str = "float64",
+                        shard=None,
+                        trial_chunk=None,
+                        progress=None) -> List[dict]:
     """Accuracy versus fault bit location and polarity (Fig. 5a).
 
     For each (bit position, stuck-at polarity) pair, ``trials`` random fault
@@ -82,7 +91,8 @@ def sweep_bit_locations(model, loader, *,
     under unmitigated fault injection is recorded.
     """
 
-    runner = _make_runner(model, loader, fmt, engine, workers, cache_dir, dtype)
+    runner = _make_runner(model, loader, fmt, engine, workers, cache_dir,
+                          dtype, shard, trial_chunk, progress)
     points: List[CampaignPoint] = []
     for stuck in stuck_types:
         stuck = StuckAtType.from_value(stuck)
@@ -118,7 +128,10 @@ def sweep_faulty_pe_count(model, loader, *,
                           engine: str = "fused",
                           workers: int = 1,
                           cache_dir=None,
-                          dtype: str = "float64") -> List[dict]:
+                          dtype: str = "float64",
+                          shard=None,
+                          trial_chunk=None,
+                          progress=None) -> List[dict]:
     """Accuracy versus number of faulty PEs (Fig. 5b).
 
     Faults are injected in the higher-order accumulator bits (worst case), and
@@ -128,7 +141,8 @@ def sweep_faulty_pe_count(model, loader, *,
 
     if bit_position is None:
         bit_position = fmt.magnitude_msb
-    runner = _make_runner(model, loader, fmt, engine, workers, cache_dir, dtype)
+    runner = _make_runner(model, loader, fmt, engine, workers, cache_dir,
+                          dtype, shard, trial_chunk, progress)
     points = [
         CampaignPoint.for_trials(
             rows, cols, count, trials,
@@ -174,7 +188,10 @@ def sweep_array_sizes(model, loader, *,
                       engine: str = "fused",
                       workers: int = 1,
                       cache_dir=None,
-                      dtype: str = "float64") -> List[dict]:
+                      dtype: str = "float64",
+                      shard=None,
+                      trial_chunk=None,
+                      progress=None) -> List[dict]:
     """Accuracy versus systolic array size at a fixed number of faulty PEs (Fig. 5c).
 
     Smaller arrays are reused more heavily (more weights per PE), so the same
@@ -186,7 +203,8 @@ def sweep_array_sizes(model, loader, *,
     for size in sizes:
         if num_faulty > size * size:
             raise ValueError(f"cannot place {num_faulty} faults in a {size}x{size} array")
-    runner = _make_runner(model, loader, fmt, engine, workers, cache_dir, dtype)
+    runner = _make_runner(model, loader, fmt, engine, workers, cache_dir,
+                          dtype, shard, trial_chunk, progress)
     points = [
         CampaignPoint.for_trials(
             size, size, num_faulty, trials,

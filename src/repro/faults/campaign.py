@@ -19,8 +19,13 @@ explicit object model:
   one-map-per-inference reference; all three produce bit-identical float64
   records.
   Results are cached on disk as JSON keyed by (model hash, data hash, grid
-  point); a cache hit skips the simulation entirely.  An optional
-  ``multiprocessing`` fork pool parallelises across sweep points.
+  point); a cache hit skips the simulation entirely.
+
+Sweeps scale out through :mod:`repro.faults.orchestrator`: with
+``workers > 1``, a ``shard`` or a ``trial_chunk`` the runner decomposes the
+grid into (point, trial-chunk) work units scheduled on a crash-tolerant
+work-stealing pool, with the cache keys doubling as the resume and
+multi-machine coordination protocol.
 
 The Fig. 5 sweep drivers in :mod:`repro.faults.analysis` and the experiment
 runners in :mod:`repro.experiments` are thin wrappers over this engine.
@@ -31,7 +36,6 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-import multiprocessing
 import os
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
@@ -215,40 +219,27 @@ def cached_record(cache_dir: Optional[Union[str, Path]], payload: dict,
     return record
 
 
-#: Callable handed to fork-pool workers via copy-on-write memory (not pickled).
-_POOL_FN: Optional[Callable] = None
-
-
-def _pool_call(item):
-    return _POOL_FN(item)
-
-
 def map_grid(fn: Callable, items: Sequence, workers: int = 1) -> list:
-    """Apply ``fn`` to every item, optionally in a ``fork`` worker pool.
+    """Apply ``fn`` to every item, optionally across a worker-process pool.
 
-    Cross-point parallelism for sweep grids: each item is independent, so a
-    fork pool maps the grid across ``workers`` processes.  ``fn`` (which may
-    close over a trained model and dataset) is installed in a module global
-    *before* the fork, so children inherit it through copy-on-write memory
-    and only the lightweight items travel through the task pipe.  Falls back
-    to the serial path when ``workers <= 1``, when there is nothing to
-    parallelise, or on platforms without the ``fork`` start method.
+    Cross-cell parallelism for sweep and retraining grids: each item is
+    independent, so the items fan out over the orchestrator's work-stealing
+    pool (:func:`repro.faults.orchestrator.pool_map`) -- idle workers pull
+    the next item, exceptions and worker deaths retry the item once on
+    another worker, results come back in item order, and a cell that still
+    fails re-raises its original exception (as the serial path does).  ``fn`` (which may
+    close over a trained model and dataset) is inherited by the forked
+    workers through copy-on-write memory; only the lightweight items travel
+    through the task pipe.  Falls back to the serial path when
+    ``workers <= 1``, when there is nothing to parallelise, or on platforms
+    without the ``fork`` start method.
     """
 
     items = list(items)
     if workers and workers > 1 and len(items) > 1:
-        try:
-            context = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX platforms
-            context = None
-        if context is not None:
-            global _POOL_FN
-            _POOL_FN = fn
-            try:
-                with context.Pool(min(int(workers), len(items))) as pool:
-                    return pool.map(_pool_call, items)
-            finally:
-                _POOL_FN = None
+        from .orchestrator import pool_map
+
+        return pool_map(fn, items, workers=int(workers))
     return [fn(item) for item in items]
 
 
@@ -283,10 +274,25 @@ class CampaignRunner:
         model hash, the data hash and the full grid point, so stale hits are
         impossible as long as those inputs define the result.
     workers:
-        Worker processes for cross-point parallelism (1 = serial).
+        Worker processes for cross-unit parallelism (1 = serial).  With
+        ``workers > 1`` the sweep runs on the
+        :class:`~repro.faults.orchestrator.CampaignOrchestrator` pool:
+        a work-stealing queue of (point, trial-chunk) units with crash
+        retry and cache-key resume.
     max_batched_maps:
         Upper bound on how many fault maps one merged batched pass may fold
         into the batch axis (memory knob; points are never split).
+    shard:
+        Optional ``"i/N"`` string or
+        :class:`~repro.faults.orchestrator.ShardSpec`: run only this
+        shard's round-robin share of the work units (requires
+        ``cache_dir`` -- the shared filesystem coordinates the shards).
+    trial_chunk:
+        Maximum trials per orchestrated work unit (``None`` keeps one unit
+        per point, whose cache keys equal the plain per-point keys).
+    progress:
+        Optional callable receiving the orchestrator's structured progress
+        events (per-unit timing, retries, ETA); parent process only.
     """
 
     def __init__(self, model, loader, *,
@@ -296,7 +302,10 @@ class CampaignRunner:
                  cache_dir: Optional[Union[str, Path]] = None,
                  workers: int = 1,
                  max_batched_maps: int = 128,
-                 dtype: str = "float64") -> None:
+                 dtype: str = "float64",
+                 shard=None,
+                 trial_chunk: Optional[int] = None,
+                 progress: Optional[Callable[[dict], None]] = None) -> None:
         if engine not in ENGINES:
             raise ValueError(f"unknown engine '{engine}'; options: {ENGINES}")
         if dtype not in DTYPES:
@@ -312,6 +321,13 @@ class CampaignRunner:
         self.cache_dir = None if cache_dir is None else Path(cache_dir)
         self.workers = int(workers)
         self.max_batched_maps = int(max_batched_maps)
+        if shard is not None:
+            from .orchestrator import ShardSpec
+
+            shard = ShardSpec.parse(shard)
+        self.shard = shard
+        self.trial_chunk = None if trial_chunk is None else int(trial_chunk)
+        self.progress = progress
         self._model_token = model_token(model)
         self._data_token = loader_token(loader)
         self._baseline: Optional[float] = None
@@ -435,13 +451,19 @@ class CampaignRunner:
     def run(self, points: Sequence[CampaignPoint]) -> List[dict]:
         """Records for all ``points``, in input order.
 
-        Cached points are answered from disk; the remainder is computed,
-        optionally across a fork worker pool, and written back to the cache
-        by the parent process (workers never touch the cache, so there are
-        no write races).
+        Cached points are answered from disk and the remainder is computed.
+        With ``workers > 1``, a ``shard`` or a ``trial_chunk``, the sweep is
+        delegated to the :class:`~repro.faults.orchestrator
+        .CampaignOrchestrator` (work-stealing unit queue, crash retry,
+        cache-key resume); a sharded run whose sibling shards have not
+        finished raises :class:`~repro.faults.orchestrator.PendingShardError`.
+        The serial path merges points sharing an array geometry into
+        multi-map passes; both paths produce byte-identical records.
         """
 
         points = list(points)
+        if self.workers > 1 or self.shard is not None or self.trial_chunk is not None:
+            return self._run_orchestrated(points)
         records: List[Optional[dict]] = [None] * len(points)
         missing: List[int] = []
         if self.cache_dir is not None:
@@ -457,14 +479,25 @@ class CampaignRunner:
 
         if missing:
             missing_points = [points[i] for i in missing]
-            if self.engine in ("fused", "batched") and self.workers <= 1:
+            if self.engine in ("fused", "batched"):
                 computed = self._evaluate_points_merged(missing_points)
             else:
-                computed = map_grid(self._evaluate_point, missing_points,
-                                    workers=self.workers)
+                computed = [self._evaluate_point(point) for point in missing_points]
             for index, record in zip(missing, computed):
                 records[index] = record
                 if self.cache_dir is not None:
                     payload = self._cache_payload(points[index])
                     _store_record(record, self.cache_dir / f"{_digest_payload(payload)}.json")
         return [record for record in records if record is not None]
+
+    def _run_orchestrated(self, points: Sequence[CampaignPoint]) -> List[dict]:
+        """Sharded/parallel sweep via the campaign orchestrator."""
+
+        from .orchestrator import CampaignOrchestrator, PendingShardError
+
+        result = CampaignOrchestrator(
+            self, workers=self.workers, shard=self.shard,
+            trial_chunk=self.trial_chunk, progress=self.progress).run(points)
+        if not result.complete:
+            raise PendingShardError(result.pending, result.report)
+        return list(result.records)

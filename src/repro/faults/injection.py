@@ -214,13 +214,35 @@ def evaluate_with_faults(model: SpikingClassifier, loader,
                          fmt: FixedPointFormat = DEFAULT_ACCUMULATOR_FORMAT,
                          engine: str = "fused",
                          dtype: str = "float64") -> float:
-    """Classification accuracy of ``model`` on ``loader`` under fault injection.
+    """Measure the classification accuracy of ``model`` under fault injection.
 
-    Either a prepared ``array`` or a ``fault_map`` must be supplied.  Returns
-    accuracy in [0, 1].  The default ``"fused"`` engine lowers the model to
-    the no-autograd inference plan (float64: bit-identical to the
-    ``"autograd"`` reference; ``dtype="float32"`` relaxes bit-identity for
-    speed).
+    Parameters
+    ----------
+    model:
+        Trained :class:`~repro.snn.network.SpikingClassifier`.
+    loader:
+        Evaluation data loader; accuracy is measured over all its batches.
+    fault_map:
+        Fault map to inject; ignored when a prepared ``array`` is given
+        (exactly one of the two is required).
+    array:
+        Prepared faulty :class:`~repro.systolic.array.SystolicArray`.
+    bypass:
+        Enable the bypass multiplexer of faulty PEs (mitigated hardware).
+    fmt:
+        Accumulator fixed-point format of the simulated array.
+    engine:
+        ``"fused"`` (default) lowers the model to the no-autograd inference
+        plan; ``"autograd"`` routes through the software forward.  float64
+        results are bit-identical across both.
+    dtype:
+        ``"float64"`` (default) or ``"float32"``; the latter requires the
+        fused engine and trades bit-identity for speed.
+
+    Returns
+    -------
+    float
+        Accuracy in ``[0, 1]``.
     """
 
     _check_eval_engine(engine, dtype)
@@ -257,17 +279,42 @@ def evaluate_with_faults_batched(model: SpikingClassifier, loader,
                                  fmt: FixedPointFormat = DEFAULT_ACCUMULATOR_FORMAT,
                                  engine: str = "fused",
                                  dtype: str = "float64") -> List[float]:
-    """Per-fault-map accuracies of ``model`` on ``loader``, in one pass.
+    """Measure per-fault-map accuracies of ``model`` in one multi-map pass.
 
     The whole sweep point -- all ``F`` fault maps -- costs roughly one
-    (``F``-times wider) inference instead of ``F`` full inferences.  The
-    returned list matches ``[evaluate_with_faults(model, loader, fault_map=m)
-    for m in fault_maps]`` exactly.
+    (``F``-times wider) inference instead of ``F`` full inferences.
 
-    The default ``"fused"`` engine additionally shares the clean activation
-    prefix across fault maps that have not yet diverged (see
-    :class:`~repro.snn.inference.FusedFaultEngine`); float64 results remain
-    bit-identical to ``engine="autograd"``.
+    Parameters
+    ----------
+    model:
+        Trained :class:`~repro.snn.network.SpikingClassifier`.
+    loader:
+        Evaluation data loader; accuracy is measured over all its batches.
+    fault_maps:
+        Fault maps to evaluate; ignored when a prepared ``array`` is given
+        (exactly one of the two is required).
+    array:
+        Prepared :class:`~repro.systolic.array.BatchedSystolicArray`.
+    bypass:
+        Enable the bypass multiplexer of faulty PEs (mitigated hardware).
+    fmt:
+        Accumulator fixed-point format of the simulated arrays.
+    engine:
+        ``"fused"`` (default) additionally shares the clean activation
+        prefix across fault maps that have not yet diverged (see
+        :class:`~repro.snn.inference.FusedFaultEngine`); ``"autograd"``
+        folds the maps into the batch axis of the software forward.
+    dtype:
+        ``"float64"`` (default) or ``"float32"`` (fused engine only).
+
+    Returns
+    -------
+    list of float
+        One accuracy per fault map, in input order.  In float64 the list
+        matches ``[evaluate_with_faults(model, loader, fault_map=m) for m
+        in fault_maps]`` bit for bit, independent of which maps share the
+        pass -- the per-map independence the campaign merge/chunking
+        machinery relies on.
     """
 
     _check_eval_engine(engine, dtype)

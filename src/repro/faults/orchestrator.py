@@ -1,0 +1,796 @@
+"""Sharded, resumable campaign sweep orchestrator.
+
+The campaign engine (:mod:`repro.faults.campaign`) makes one sweep *point*
+fast; this module makes whole *sweeps* scale out.  A grid of
+:class:`~repro.faults.campaign.CampaignPoint` objects is decomposed into
+independent **work units** -- one per (grid point, trial chunk) -- which are
+scheduled across a pool of forked worker processes pulling from a shared
+work queue (idle workers steal whatever unit is next, so load balances
+itself), and, when interrupted, resumed for free:
+
+* **Cache keys are the coordination protocol.**  Every unit's on-disk key
+  is exactly the PR 1 campaign cache key of its (sub-)point -- (model hash,
+  data hash, grid point, seeds).  A unit whose key is already materialised
+  is skipped, so a killed sweep continues where it stopped, a plain
+  :class:`~repro.faults.campaign.CampaignRunner` cache primes the
+  orchestrator (and vice versa), and concurrent orchestrators sharing a
+  filesystem cooperate instead of duplicating work.  Result files are
+  written atomically (temp file + ``os.replace``), so a reader never sees
+  a torn record.
+* **Shards split one sweep across machines.**  :class:`ShardSpec`
+  (``--shard i/N``) deterministically assigns each unit ordinal to one of
+  ``N`` shards (round-robin), so ``N`` machines pointed at the same cache
+  directory partition the grid exactly.  A shard whose neighbours have not
+  finished reports its pending points (:class:`PendingShardError` at the
+  runner level); once every unit is materialised, any invocation -- or a
+  final ``--resume`` pass -- assembles the merged records purely from disk.
+* **The merge step is bit-exact.**  Per-map accuracies are independent of
+  which pass evaluated them (the engines' documented per-map independence),
+  and JSON round-trips IEEE-754 doubles exactly, so concatenating a point's
+  chunk records reconstructs byte-identical output to a single-process
+  :meth:`CampaignRunner.run`.
+* **Failures are contained.**  A unit that raises is retried (on any
+  worker) up to ``max_attempts`` times; a worker process that dies is
+  detected, its unit re-queued and a replacement forked.  Remaining units
+  keep running either way, and the report records every retry.
+
+:class:`CampaignOrchestrator` is not usually constructed by hand:
+``CampaignRunner(..., workers=K, shard=..., trial_chunk=...)`` routes
+:meth:`~repro.faults.campaign.CampaignRunner.run` through it, and the CLI
+exposes the same knobs (``python -m repro campaign --workers K
+--shard i/N --resume``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import multiprocessing
+import os
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..utils.logging import get_logger
+from ..utils.serialization import load_records
+from .campaign import CampaignPoint, _digest_payload, _store_record
+
+__all__ = [
+    "CampaignOrchestrator",
+    "OrchestratorResult",
+    "PendingShardError",
+    "ShardSpec",
+    "SweepReport",
+    "WorkUnit",
+    "pool_map",
+    "run_tasks",
+]
+
+logger = get_logger("faults.orchestrator")
+
+
+# ----------------------------------------------------------------------
+# Shards
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class ShardSpec:
+    """One shard of an ``N``-way sweep split (``--shard i/N``, 0-based).
+
+    Units are assigned round-robin by ordinal, so the ``N`` shards of the
+    same grid partition its units exactly: every unit belongs to one and
+    only one shard, regardless of cache state or timing.
+    """
+
+    index: int
+    total: int
+
+    def __post_init__(self) -> None:
+        if self.total < 1:
+            raise ValueError("shard total must be at least 1")
+        if not 0 <= self.index < self.total:
+            raise ValueError(
+                f"shard index must be in [0, {self.total}); got {self.index}")
+
+    @classmethod
+    def parse(cls, text: Union[str, "ShardSpec"]) -> "ShardSpec":
+        """Parse an ``"i/N"`` string (e.g. ``"0/2"``) into a shard spec."""
+
+        if isinstance(text, ShardSpec):
+            return text
+        parts = str(text).split("/")
+        if len(parts) != 2:
+            raise ValueError(f"expected 'i/N' (e.g. '0/2'); got {text!r}")
+        try:
+            index, total = int(parts[0]), int(parts[1])
+        except ValueError:
+            raise ValueError(f"expected integers in 'i/N'; got {text!r}") from None
+        return cls(index=index, total=total)
+
+    def owns(self, ordinal: int) -> bool:
+        """Whether this shard is responsible for unit ``ordinal``."""
+
+        return ordinal % self.total == self.index
+
+    def __str__(self) -> str:
+        return f"{self.index}/{self.total}"
+
+
+# ----------------------------------------------------------------------
+# Work units
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class WorkUnit:
+    """One schedulable unit of a sweep: a (grid point, trial chunk) pair.
+
+    ``point`` is a :class:`CampaignPoint` restricted to this chunk's trial
+    seeds; it is a perfectly ordinary point, so its cache key is the PR 1
+    campaign key and a plain :class:`CampaignRunner` would produce (or
+    consume) the identical record for it.
+    """
+
+    ordinal: int
+    point_index: int
+    chunk_index: int
+    num_chunks: int
+    point: CampaignPoint
+
+
+def plan_work_units(points: Sequence[CampaignPoint],
+                    trial_chunk: Optional[int] = None) -> List[WorkUnit]:
+    """Decompose ``points`` into work units of at most ``trial_chunk`` trials.
+
+    ``trial_chunk=None`` keeps one unit per point (unit keys then equal the
+    plain per-point campaign cache keys).  The decomposition depends only on
+    the grid and ``trial_chunk`` -- never on worker count or cache state --
+    so every shard of a split sweep enumerates identical ordinals.
+    """
+
+    if trial_chunk is not None and trial_chunk < 1:
+        raise ValueError("trial_chunk must be at least 1")
+    units: List[WorkUnit] = []
+    for point_index, point in enumerate(points):
+        seeds = point.map_seeds
+        chunk = len(seeds) if trial_chunk is None else int(trial_chunk)
+        num_chunks = max(1, math.ceil(len(seeds) / chunk))
+        for chunk_index in range(num_chunks):
+            chunk_seeds = seeds[chunk_index * chunk:(chunk_index + 1) * chunk]
+            sub_point = (point if num_chunks == 1 else
+                         dataclasses.replace(point, map_seeds=chunk_seeds))
+            units.append(WorkUnit(ordinal=len(units), point_index=point_index,
+                                  chunk_index=chunk_index, num_chunks=num_chunks,
+                                  point=sub_point))
+    return units
+
+
+# ----------------------------------------------------------------------
+# Generic work-stealing process pool with crash recovery
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class TaskResult:
+    """Outcome of one pooled task: its value or its final error.
+
+    ``exception`` carries the original exception object when it survived
+    the trip back from the worker (so callers can re-raise with the real
+    type); ``error`` is always a human-readable string.
+    """
+
+    value: object = None
+    error: Optional[str] = None
+    exception: Optional[BaseException] = None
+    attempts: int = 0
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+#: Task callable handed to forked workers via copy-on-write memory (set
+#: immediately before the fork, cleared after; never pickled).
+_TASK_FN: Optional[Callable[[int], object]] = None
+
+
+class _SyncChannel:
+    """Multi-producer result pipe with synchronous, crash-safe writes.
+
+    ``Connection.send`` pickles and writes the whole message (under a
+    shared lock) before returning, so a worker that dies immediately after
+    reporting cannot lose the message -- ``multiprocessing.Queue``'s
+    asynchronous feeder thread would, breaking crash attribution.  Built
+    from documented primitives only (``Pipe``, ``Lock``,
+    ``Connection.poll``); single consumer.
+    """
+
+    def __init__(self, context) -> None:
+        self._reader, self._writer = context.Pipe(duplex=False)
+        self._lock = context.Lock()
+
+    def put(self, item) -> None:
+        with self._lock:
+            self._writer.send(item)
+
+    def poll(self, timeout: float) -> bool:
+        return self._reader.poll(timeout)
+
+    def get(self):
+        return self._reader.recv()
+
+
+def _pool_worker(task_queue, result_queue) -> None:
+    """Worker loop: steal task indices until the ``None`` sentinel arrives."""
+
+    while True:
+        index = task_queue.get()
+        if index is None:
+            return
+        result_queue.put(("started", os.getpid(), index))
+        start = time.perf_counter()
+        try:
+            value = _TASK_FN(index)
+        except Exception as exc:  # noqa: BLE001 - reported to the parent
+            elapsed = time.perf_counter() - start
+            try:
+                result_queue.put(("failed", os.getpid(), index, exc, elapsed))
+            except Exception:  # unpicklable exception: fall back to text
+                result_queue.put(("failed", os.getpid(), index,
+                                  f"{type(exc).__name__}: {exc}", elapsed))
+        except BaseException:
+            # KeyboardInterrupt / SystemExit: die visibly -- the parent
+            # detects the dead worker and re-queues the task.
+            raise
+        else:
+            result_queue.put(("done", os.getpid(), index, value,
+                              time.perf_counter() - start))
+
+
+def run_tasks(num_tasks: int, fn: Callable[[int], object], *,
+              workers: int = 1, max_attempts: int = 3,
+              progress: Optional[Callable[[dict], None]] = None
+              ) -> List[TaskResult]:
+    """Run ``fn(0..num_tasks-1)`` on a crash-tolerant work-stealing pool.
+
+    Task indices are placed on a shared queue; ``workers`` forked processes
+    pull from it as they become idle, so long tasks never serialise behind
+    short ones.  A task that raises is re-queued (and may land on any
+    worker) until it succeeds or ``max_attempts`` is exhausted; a worker
+    that dies mid-task is detected, its task re-queued and a replacement
+    process forked.  Results are returned in task order; failures are
+    recorded per task, never raised -- callers decide the policy.
+
+    ``fn`` is installed in a module global before the fork, so workers
+    inherit it (and anything it closes over, e.g. a trained model) through
+    copy-on-write memory; only integer indices and result payloads travel
+    through the queues.  Falls back to in-process execution (same retry
+    semantics) when ``workers <= 1``, when there is a single task, or on
+    platforms without the ``fork`` start method.
+    """
+
+    results = [TaskResult() for _ in range(num_tasks)]
+    if num_tasks <= 0:
+        return results
+    workers = max(1, int(workers))
+    context = None
+    if workers > 1 and num_tasks > 1:
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            context = None
+    if context is None:
+        _run_tasks_inline(results, fn, max_attempts=max_attempts, progress=progress)
+        return results
+
+    global _TASK_FN
+    _TASK_FN = fn
+    task_queue = context.Queue()
+    result_queue = _SyncChannel(context)
+    pending = set(range(num_tasks))
+    for index in range(num_tasks):
+        task_queue.put(index)
+    pool_size = min(workers, num_tasks)
+
+    def spawn():
+        process = context.Process(target=_pool_worker,
+                                  args=(task_queue, result_queue), daemon=True)
+        process.start()
+        return process
+
+    processes = [spawn() for _ in range(pool_size)]
+    in_flight: Dict[int, int] = {}  # worker pid -> task index
+    try:
+        while pending:
+            message = result_queue.get() if result_queue.poll(0.05) else None
+            if message is not None:
+                _handle_pool_message(message, results, pending, in_flight,
+                                     task_queue, max_attempts, progress,
+                                     num_tasks)
+                continue
+            # No message: check worker liveness and replace crashed workers.
+            for slot, process in enumerate(processes):
+                if process is None or process.is_alive():
+                    continue
+                process.join()
+                _handle_worker_crash(process, results, pending, in_flight,
+                                     task_queue, max_attempts, progress)
+                processes[slot] = spawn() if pending else None
+    finally:
+        _TASK_FN = None
+        for process in processes:
+            if process is not None and process.is_alive():
+                task_queue.put(None)
+        deadline = time.monotonic() + 5.0
+        for process in processes:
+            if process is None:
+                continue
+            process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if process.is_alive():  # pragma: no cover - defensive shutdown
+                process.terminate()
+                process.join(timeout=1.0)
+        task_queue.close()
+    return results
+
+
+def _run_tasks_inline(results: List[TaskResult], fn: Callable[[int], object], *,
+                      max_attempts: int,
+                      progress: Optional[Callable[[dict], None]]) -> None:
+    """Serial fallback with the pool's retry-and-continue semantics."""
+
+    for index in range(len(results)):
+        result = results[index]
+        while result.attempts < max_attempts:
+            result.attempts += 1
+            start = time.perf_counter()
+            try:
+                result.value = fn(index)
+            except Exception as exc:  # noqa: BLE001 - collected per task
+                # KeyboardInterrupt / SystemExit propagate: an interrupted
+                # serial sweep stops immediately (finished tasks are already
+                # cached, so a re-run resumes).
+                result.exception = exc
+                result.error = f"{type(exc).__name__}: {exc}"
+                result.seconds = time.perf_counter() - start
+                _emit(progress, kind="task-failed", index=index,
+                      attempt=result.attempts, error=result.error)
+            else:
+                result.error = None
+                result.exception = None
+                result.seconds = time.perf_counter() - start
+                _emit(progress, kind="task-done", index=index,
+                      attempt=result.attempts, seconds=result.seconds)
+                break
+
+
+def _emit(progress: Optional[Callable[[dict], None]], **event) -> None:
+    if progress is not None:
+        progress(event)
+
+
+def _handle_pool_message(message: tuple, results: List[TaskResult],
+                         pending: set, in_flight: Dict[int, int],
+                         task_queue, max_attempts: int,
+                         progress: Optional[Callable[[dict], None]],
+                         num_tasks: int) -> None:
+    kind, pid, index = message[0], message[1], message[2]
+    if kind == "started":
+        if index in pending:
+            in_flight[pid] = index
+            results[index].attempts += 1
+        return
+    in_flight.pop(pid, None)
+    if index not in pending:
+        return  # duplicate delivery after a defensive re-queue
+    result = results[index]
+    if kind == "done":
+        _, _, _, value, seconds = message
+        result.value, result.error, result.seconds = value, None, seconds
+        result.exception = None
+        pending.discard(index)
+        _emit(progress, kind="task-done", index=index, attempt=result.attempts,
+              seconds=seconds, completed=num_tasks - len(pending),
+              total=num_tasks)
+    elif kind == "failed":
+        _, _, _, failure, seconds = message
+        if isinstance(failure, BaseException):
+            result.exception = failure
+            result.error = f"{type(failure).__name__}: {failure}"
+        else:
+            result.exception = None
+            result.error = failure
+        result.seconds = seconds
+        _emit(progress, kind="task-failed", index=index,
+              attempt=result.attempts, error=result.error)
+        if result.attempts >= max_attempts:
+            pending.discard(index)
+        else:
+            task_queue.put(index)
+
+
+def _handle_worker_crash(process, results: List[TaskResult], pending: set,
+                         in_flight: Dict[int, int], task_queue,
+                         max_attempts: int,
+                         progress: Optional[Callable[[dict], None]]) -> None:
+    index = in_flight.pop(process.pid, None)
+    _emit(progress, kind="worker-crash", pid=process.pid,
+          exitcode=process.exitcode, index=index)
+    logger.warning("worker %s died (exit %s) while running task %s",
+                   process.pid, process.exitcode, index)
+    if index is not None and index in pending:
+        result = results[index]
+        result.error = f"worker died (exit {process.exitcode})"
+        result.exception = None
+        if result.attempts >= max_attempts:
+            pending.discard(index)
+        else:
+            task_queue.put(index)
+    elif index is None:
+        # The worker died between dequeuing a task and announcing it: the
+        # task vanished from the queue without a trace.  Re-queue every
+        # unresolved task not known to be running; duplicates are harmless
+        # because completed indices are ignored on delivery.
+        for orphan in sorted(pending - set(in_flight.values())):
+            task_queue.put(orphan)
+
+
+def pool_map(fn: Callable, items: Sequence, *, workers: int = 1,
+             max_attempts: int = 2) -> list:
+    """Map ``fn`` over ``items`` on the crash-tolerant pool; raise on failure.
+
+    Drop-in pool backend for grid helpers such as
+    :func:`repro.faults.campaign.map_grid`: results come back in item order,
+    and if any task still fails after ``max_attempts`` the first failed
+    item's original exception is re-raised (matching the serial path's
+    exception types; worker tracebacks are lost to the process boundary).
+    Failures surface only after the surviving items have finished, so no
+    work is wasted.
+    """
+
+    items = list(items)
+    results = run_tasks(len(items), lambda index: fn(items[index]),
+                        workers=workers, max_attempts=max_attempts)
+    failures = [(index, result) for index, result in enumerate(results)
+                if not result.ok]
+    if failures:
+        detail = "; ".join(f"item {index}: {result.error}"
+                           for index, result in failures)
+        logger.error("%d grid task(s) failed: %s", len(failures), detail)
+        first = failures[0][1]
+        if first.exception is not None:
+            raise first.exception
+        raise RuntimeError(f"{len(failures)} grid task(s) failed: {detail}")
+    return [result.value for result in results]
+
+
+# ----------------------------------------------------------------------
+# Reports
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class SweepReport:
+    """Structured progress/outcome report of one orchestrated sweep.
+
+    ``unit_seconds`` holds per-unit wall-clock of the computed units (keyed
+    by ordinal); ``retries`` counts every extra attempt beyond the first,
+    whether caused by an exception or a dead worker.
+    """
+
+    total_units: int = 0
+    owned_units: int = 0
+    cached_units: int = 0
+    computed_units: int = 0
+    failed_units: List[Tuple[int, str]] = dataclasses.field(default_factory=list)
+    retries: int = 0
+    elapsed_seconds: float = 0.0
+    unit_seconds: Dict[int, float] = dataclasses.field(default_factory=dict)
+
+    def summary(self) -> dict:
+        """Flat JSON-friendly summary (suitable for logs and tables)."""
+
+        computed = [self.unit_seconds[key] for key in sorted(self.unit_seconds)]
+        return {
+            "total_units": self.total_units,
+            "owned_units": self.owned_units,
+            "cached_units": self.cached_units,
+            "computed_units": self.computed_units,
+            "failed_units": len(self.failed_units),
+            "retries": self.retries,
+            "elapsed_seconds": self.elapsed_seconds,
+            "mean_unit_seconds": (sum(computed) / len(computed)) if computed else 0.0,
+        }
+
+
+class PendingShardError(RuntimeError):
+    """A sharded sweep finished its own units but other shards' are missing.
+
+    Raised by :meth:`CampaignRunner.run` when merged records cannot be
+    assembled yet; ``pending`` lists the affected point indices.  Run the
+    remaining shards against the same cache directory, then re-run (any
+    shard, or no shard at all) to merge purely from disk.
+    """
+
+    def __init__(self, pending: Sequence[int], report: Optional[SweepReport] = None):
+        self.pending = list(pending)
+        self.report = report
+        super().__init__(
+            f"{len(self.pending)} sweep point(s) still pending other shards: "
+            f"{self.pending}")
+
+
+@dataclasses.dataclass
+class OrchestratorResult:
+    """Outcome of :meth:`CampaignOrchestrator.run`.
+
+    ``records`` aligns with the input points; entries are ``None`` for
+    points whose units (owned by other shards) are not materialised yet,
+    listed in ``pending``.
+    """
+
+    records: List[Optional[dict]]
+    pending: List[int]
+    report: SweepReport
+
+    @property
+    def complete(self) -> bool:
+        return not self.pending
+
+
+# ----------------------------------------------------------------------
+# Orchestrator
+# ----------------------------------------------------------------------
+class CampaignOrchestrator:
+    """Schedule a campaign grid as sharded, resumable work units.
+
+    Parameters
+    ----------
+    runner:
+        The :class:`~repro.faults.campaign.CampaignRunner` that evaluates
+        units and defines the cache keys.  Its model/loader are inherited
+        by forked workers through copy-on-write memory.
+    workers:
+        Worker processes pulling from the shared unit queue (default: the
+        runner's ``workers``; 1 executes in-process).
+    trial_chunk:
+        Maximum trials per work unit.  ``None`` (default) keeps one unit
+        per grid point, making unit cache keys identical to the plain
+        per-point campaign keys.
+    shard:
+        Optional :class:`ShardSpec` or ``"i/N"`` string restricting this
+        orchestrator to its round-robin share of the units.  Requires a
+        cache directory on the runner (the shared filesystem is the only
+        channel between shards).
+    max_attempts:
+        Attempts per unit before it is reported as failed (exceptions and
+        worker deaths both consume attempts).
+    progress:
+        Optional callable receiving structured event dicts
+        (``unit-done`` / ``unit-failed`` / ``worker-crash``) with per-unit
+        timing and an ETA estimate; called in the parent process only.
+    unit_hook:
+        Test/diagnostic callable invoked with each :class:`WorkUnit` inside
+        the worker immediately before evaluation.
+    """
+
+    def __init__(self, runner, *, workers: Optional[int] = None,
+                 trial_chunk: Optional[int] = None,
+                 shard: Optional[Union[str, ShardSpec]] = None,
+                 max_attempts: int = 3,
+                 progress: Optional[Callable[[dict], None]] = None,
+                 unit_hook: Optional[Callable[[WorkUnit], None]] = None) -> None:
+        self.runner = runner
+        self.workers = int(runner.workers if workers is None else workers)
+        self.trial_chunk = trial_chunk
+        self.shard = None if shard is None else ShardSpec.parse(shard)
+        self.max_attempts = int(max_attempts)
+        self.progress = progress
+        self.unit_hook = unit_hook
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.shard is not None and runner.cache_dir is None:
+            raise ValueError(
+                "sharded sweeps need a shared cache_dir: the on-disk unit "
+                "records are the only channel between shards")
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def plan_units(self, points: Sequence[CampaignPoint]) -> List[WorkUnit]:
+        """All work units of ``points`` (every shard sees the same list)."""
+
+        return plan_work_units(points, self.trial_chunk)
+
+    def _unit_path(self, unit: WorkUnit) -> Optional[Path]:
+        # A unit's key IS the plain campaign key of its (sub-)point -- this
+        # identity is the whole resume/coordination protocol.
+        return self._point_path(unit.point)
+
+    def _load_cached(self, path: Optional[Path]) -> Optional[dict]:
+        if path is None or not path.exists():
+            return None
+        return load_records(path)
+
+    # ------------------------------------------------------------------
+    # Unit evaluation (runs inside workers)
+    # ------------------------------------------------------------------
+    def _compute_unit(self, unit: WorkUnit) -> Tuple[str, dict]:
+        """Evaluate one unit, cooperating with concurrent orchestrators.
+
+        Re-checks the cache immediately before simulating: on a shared
+        filesystem another orchestrator may have materialised the unit
+        since this run planned it, in which case its record is adopted.
+        """
+
+        if self.unit_hook is not None:
+            self.unit_hook(unit)
+        path = self._unit_path(unit)
+        record = self._load_cached(path)
+        if record is not None:
+            return "cached", record
+        record = self.runner._evaluate_point(unit.point)
+        if path is not None:
+            _store_record(record, path)
+        return "computed", record
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, points: Sequence[CampaignPoint]) -> OrchestratorResult:
+        """Evaluate (this shard's share of) ``points`` and merge records.
+
+        Returns records aligned with ``points``; entries owned by other,
+        unfinished shards are ``None`` and listed in ``pending``.  Units
+        that fail after ``max_attempts`` raise a ``RuntimeError`` -- after
+        every other unit has finished and been cached, so no work is lost.
+        """
+
+        start = time.monotonic()
+        points = list(points)
+        units = self.plan_units(points)
+        report = SweepReport(total_units=len(units))
+        records: List[Optional[dict]] = [None] * len(points)
+
+        # Points whose full-grid record is already cached need no units at
+        # all -- this is what makes plain CampaignRunner caches prime the
+        # orchestrator.
+        done_points = set()
+        if self.runner.cache_dir is not None:
+            for index, point in enumerate(points):
+                cached = self._load_cached(self._point_path(point))
+                if cached is not None:
+                    records[index] = cached
+                    done_points.add(index)
+
+        report.cached_units += sum(
+            1 for unit in units if unit.point_index in done_points)
+        owned = [unit for unit in units
+                 if unit.point_index not in done_points
+                 and (self.shard is None or self.shard.owns(unit.ordinal))]
+        report.owned_units = len(owned)
+
+        unit_records: Dict[int, dict] = {}
+        to_compute: List[WorkUnit] = []
+        for unit in owned:
+            cached = self._load_cached(self._unit_path(unit))
+            if cached is not None:
+                unit_records[unit.ordinal] = cached
+                report.cached_units += 1
+            else:
+                to_compute.append(unit)
+
+        failures = self._execute(to_compute, unit_records, report)
+        self._assemble(points, units, done_points, unit_records, records,
+                       report)
+        report.elapsed_seconds = time.monotonic() - start
+        logger.info("orchestrated sweep: %s", report.summary())
+        if failures:
+            detail = "; ".join(f"unit {ordinal} (point {units[ordinal].point_index}"
+                               f", chunk {units[ordinal].chunk_index}): {error}"
+                               for ordinal, error in failures)
+            raise RuntimeError(
+                f"{len(failures)} work unit(s) failed after "
+                f"{self.max_attempts} attempt(s): {detail}")
+        pending = [index for index in range(len(points))
+                   if records[index] is None]
+        return OrchestratorResult(records=records, pending=pending, report=report)
+
+    def _execute(self, to_compute: List[WorkUnit],
+                 unit_records: Dict[int, dict],
+                 report: SweepReport) -> List[Tuple[int, str]]:
+        """Run the missing units on the pool; fill ``unit_records``."""
+
+        if not to_compute:
+            return []
+        seconds_seen: List[float] = []
+
+        def forward_progress(event: dict) -> None:
+            kind = event.get("kind", "")
+            if kind.startswith("task"):
+                task_index = event.get("index")
+                unit = to_compute[task_index]
+                event = dict(event, kind=kind.replace("task", "unit"),
+                             ordinal=unit.ordinal, point_index=unit.point_index,
+                             chunk_index=unit.chunk_index)
+                event.pop("index", None)
+                if kind == "task-done" and event.get("seconds") is not None:
+                    seconds_seen.append(event["seconds"])
+                    remaining = len(to_compute) - len(seconds_seen)
+                    average = sum(seconds_seen) / len(seconds_seen)
+                    event["eta_seconds"] = (remaining * average
+                                            / max(1, min(self.workers,
+                                                         len(to_compute))))
+            if self.progress is not None:
+                self.progress(event)
+
+        results = run_tasks(
+            len(to_compute), lambda index: self._compute_unit(to_compute[index]),
+            workers=self.workers, max_attempts=self.max_attempts,
+            progress=forward_progress)
+
+        failures: List[Tuple[int, str]] = []
+        for unit, result in zip(to_compute, results):
+            report.retries += max(0, result.attempts - 1)
+            if not result.ok:
+                failures.append((unit.ordinal, result.error))
+                report.failed_units.append((unit.ordinal, result.error))
+                continue
+            status, record = result.value
+            unit_records[unit.ordinal] = record
+            if status == "cached":
+                report.cached_units += 1
+            else:
+                report.computed_units += 1
+                report.unit_seconds[unit.ordinal] = result.seconds
+        return failures
+
+    # ------------------------------------------------------------------
+    # Merging
+    # ------------------------------------------------------------------
+    def _point_path(self, point: CampaignPoint) -> Optional[Path]:
+        if self.runner.cache_dir is None:
+            return None
+        payload = self.runner._cache_payload(point)
+        return Path(self.runner.cache_dir) / f"{_digest_payload(payload)}.json"
+
+    def merge_unit_records(self, point: CampaignPoint,
+                           chunk_records: Sequence[dict]) -> dict:
+        """Reconstruct the single-process record of ``point`` from its chunks.
+
+        Concatenates the per-chunk accuracies in chunk order and recomputes
+        the aggregate statistics exactly as
+        :meth:`CampaignRunner._record_for` does; per-map independence of
+        the engines makes the result byte-identical to an unsplit run.
+        """
+
+        accuracies: List[float] = []
+        for record in chunk_records:
+            accuracies.extend(record["accuracies"])
+        return self.runner._record_for(point, accuracies)
+
+    def _assemble(self, points: Sequence[CampaignPoint],
+                  units: Sequence[WorkUnit], done_points: set,
+                  unit_records: Dict[int, dict],
+                  records: List[Optional[dict]], report: SweepReport) -> None:
+        """Merge unit records (own, cached, or other shards') per point."""
+
+        units_by_point: Dict[int, List[WorkUnit]] = {}
+        for unit in units:
+            units_by_point.setdefault(unit.point_index, []).append(unit)
+        for index, point in enumerate(points):
+            if index in done_points:
+                continue
+            chunk_records: List[dict] = []
+            for unit in units_by_point[index]:
+                record = unit_records.get(unit.ordinal)
+                if record is None:  # not owned: look for another shard's work
+                    record = self._load_cached(self._unit_path(unit))
+                if record is None:
+                    chunk_records = []
+                    break
+                chunk_records.append(record)
+            if not chunk_records:
+                continue
+            if len(chunk_records) == 1:
+                records[index] = chunk_records[0]
+            else:
+                records[index] = self.merge_unit_records(point, chunk_records)
+                # Materialise the merged full-point record so future plain
+                # runners (and full-point lookups) hit the cache directly.
+                path = self._point_path(point)
+                if path is not None and not path.exists():
+                    _store_record(records[index], path)

@@ -1,0 +1,327 @@
+"""Tests for the sharded campaign orchestrator.
+
+Covers: shard-spec parsing and exact grid partitioning, trial-chunk work
+unit planning, the crash-tolerant work-stealing pool, byte-identity of
+orchestrated/sharded/merged records with the single-process
+``CampaignRunner``, killed-then-resumed sweeps that skip cached units, and
+failure containment (retries, exhausted attempts).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.faults import (
+    CampaignOrchestrator,
+    CampaignPoint,
+    CampaignRunner,
+    PendingShardError,
+    ShardSpec,
+    sweep_faulty_pe_count,
+)
+from repro.faults.orchestrator import plan_work_units, pool_map, run_tasks
+from repro.systolic import DEFAULT_ACCUMULATOR_FORMAT
+
+FMT = DEFAULT_ACCUMULATOR_FORMAT
+
+
+def canonical(records) -> bytes:
+    """Byte representation used for record byte-identity assertions."""
+
+    return json.dumps(records, sort_keys=True).encode("utf-8")
+
+
+def make_points(trials=2, counts=(2, 4, 6)):
+    """A small Fig. 5b-style grid (faulty-PE counts on a fixed array)."""
+
+    return [
+        CampaignPoint.for_trials(16, 16, count, trials,
+                                 bit_position=FMT.magnitude_msb,
+                                 stuck_type="sa1", seed=40 + count,
+                                 label="pe_count", dataset="mnist")
+        for count in counts
+    ]
+
+
+@pytest.fixture()
+def eval_loader(tiny_mnist_loaders):
+    return tiny_mnist_loaders[1]
+
+
+@pytest.fixture(scope="module")
+def serial_records(trained_tiny_model_state, tiny_mnist_loaders):
+    """Single-process fused records of ``make_points()`` (the oracle)."""
+
+    from conftest import build_tiny_mnist_model
+
+    model, _ = build_tiny_mnist_model()
+    model.load_state_dict(trained_tiny_model_state["state"])
+    return CampaignRunner(model, tiny_mnist_loaders[1]).run(make_points())
+
+
+class TestShardSpec:
+    def test_parse_round_trip(self):
+        spec = ShardSpec.parse("1/3")
+        assert (spec.index, spec.total) == (1, 3)
+        assert str(spec) == "1/3"
+        assert ShardSpec.parse(spec) is spec
+
+    def test_parse_rejects_malformed(self):
+        for text in ("", "1", "a/b", "1/2/3", "2/2", "-1/2", "0/0"):
+            with pytest.raises(ValueError):
+                ShardSpec.parse(text)
+
+    def test_shards_partition_ordinals(self):
+        total = 3
+        shards = [ShardSpec(index, total) for index in range(total)]
+        for ordinal in range(20):
+            owners = [shard for shard in shards if shard.owns(ordinal)]
+            assert len(owners) == 1
+
+
+class TestPlanUnits:
+    def test_default_is_one_unit_per_point(self):
+        points = make_points(trials=4)
+        units = plan_work_units(points)
+        assert [unit.ordinal for unit in units] == [0, 1, 2]
+        assert all(unit.num_chunks == 1 for unit in units)
+        # Unsplit units carry the original points, so their cache keys are
+        # exactly the plain per-point campaign keys.
+        assert all(unit.point is point for unit, point in zip(units, points))
+
+    def test_trial_chunk_splits_seeds_exactly_once(self):
+        points = make_points(trials=5)
+        units = plan_work_units(points, trial_chunk=2)
+        assert len(units) == 9  # ceil(5/2) = 3 chunks per point
+        assert [unit.ordinal for unit in units] == list(range(9))
+        for point_index, point in enumerate(points):
+            chunks = [unit for unit in units if unit.point_index == point_index]
+            assert [unit.chunk_index for unit in chunks] == [0, 1, 2]
+            recombined = tuple(seed for unit in chunks
+                               for seed in unit.point.map_seeds)
+            assert recombined == point.map_seeds
+
+    def test_shard_union_covers_grid_exactly_once(self):
+        units = plan_work_units(make_points(trials=4), trial_chunk=1)
+        ordinals = [unit.ordinal for unit in units]
+        total = 2
+        shard_sets = [
+            {ordinal for ordinal in ordinals if ShardSpec(i, total).owns(ordinal)}
+            for i in range(total)
+        ]
+        assert set(ordinals) == shard_sets[0] | shard_sets[1]
+        assert not (shard_sets[0] & shard_sets[1])
+
+    def test_invalid_trial_chunk(self):
+        with pytest.raises(ValueError):
+            plan_work_units(make_points(), trial_chunk=0)
+
+
+class TestWorkStealingPool:
+    def test_results_in_task_order(self):
+        results = run_tasks(5, lambda index: index * index, workers=2)
+        assert [result.value for result in results] == [0, 1, 4, 9, 16]
+        assert all(result.ok and result.attempts == 1 for result in results)
+
+    def test_worker_crash_requeues_unit(self, tmp_path):
+        latch = tmp_path / "crashed-once"
+
+        def fn(index):
+            if index == 1 and not latch.exists():
+                latch.touch()
+                os._exit(17)  # hard worker death, not an exception
+            return index
+
+        events = []
+        results = run_tasks(3, fn, workers=2, max_attempts=3,
+                            progress=events.append)
+        assert [result.value for result in results] == [0, 1, 2]
+        assert results[1].attempts == 2
+        crashes = [event for event in events if event["kind"] == "worker-crash"]
+        assert crashes and crashes[0]["index"] == 1
+
+    def test_exception_retries_then_fails(self):
+        def fn(index):
+            if index == 0:
+                raise ValueError("always broken")
+            return index
+
+        results = run_tasks(2, fn, workers=2, max_attempts=2)
+        assert not results[0].ok and "always broken" in results[0].error
+        assert results[0].attempts == 2
+        assert results[1].ok  # surviving tasks still complete
+
+    def test_pool_map_reraises_original_exception_type(self):
+        def fn(item):
+            raise ValueError(f"bad {item}")
+
+        # The serial path would raise ValueError; the pooled path must too.
+        with pytest.raises(ValueError, match="bad"):
+            pool_map(fn, [1, 2], workers=2)
+        with pytest.raises(ValueError, match="bad"):
+            pool_map(fn, [1, 2], workers=1)
+
+    def test_inline_fallback_matches_pool(self):
+        fn = lambda index: index + 10  # noqa: E731
+        inline = [result.value for result in run_tasks(4, fn, workers=1)]
+        pooled = [result.value for result in run_tasks(4, fn, workers=2)]
+        assert inline == pooled == [10, 11, 12, 13]
+
+
+class TestOrchestratedRecords:
+    def test_workers2_byte_identical_to_single_process(self, trained_tiny_model,
+                                                       eval_loader, serial_records):
+        runner = CampaignRunner(trained_tiny_model, eval_loader, workers=2)
+        assert canonical(runner.run(make_points())) == canonical(serial_records)
+
+    def test_trial_chunks_byte_identical_and_prime_point_cache(
+            self, trained_tiny_model, eval_loader, serial_records, tmp_path):
+        runner = CampaignRunner(trained_tiny_model, eval_loader, workers=2,
+                                trial_chunk=1, cache_dir=tmp_path)
+        records = runner.run(make_points())
+        assert canonical(records) == canonical(serial_records)
+        # The merge step materialised full-point records: a plain serial
+        # runner with a broken simulation path must answer purely from cache.
+        fresh = CampaignRunner(trained_tiny_model, eval_loader, cache_dir=tmp_path)
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("cache miss: simulation was invoked")
+
+        fresh._evaluate_point = boom
+        fresh._evaluate_points_merged = boom
+        assert canonical(fresh.run(make_points())) == canonical(serial_records)
+
+    def test_two_shard_split_then_merge_byte_identical(
+            self, trained_tiny_model, eval_loader, serial_records, tmp_path):
+        points = make_points()
+        shard0 = CampaignRunner(trained_tiny_model, eval_loader,
+                                cache_dir=tmp_path, shard="0/2")
+        with pytest.raises(PendingShardError) as excinfo:
+            shard0.run(points)
+        assert excinfo.value.pending == [1]  # shard 0 owns ordinals 0 and 2
+        # Shard 1 computes its own unit, then merges shard 0's cached units.
+        shard1 = CampaignRunner(trained_tiny_model, eval_loader,
+                                cache_dir=tmp_path, shard="1/2")
+        assert canonical(shard1.run(points)) == canonical(serial_records)
+        # And an unsharded resume pass answers purely from the shared cache.
+        merge = CampaignRunner(trained_tiny_model, eval_loader, cache_dir=tmp_path)
+        assert canonical(merge.run(points)) == canonical(serial_records)
+
+    def test_shard_requires_cache_dir(self, trained_tiny_model, eval_loader):
+        runner = CampaignRunner(trained_tiny_model, eval_loader, shard="0/2")
+        with pytest.raises(ValueError, match="cache_dir"):
+            runner.run(make_points())
+
+    def test_killed_sweep_resumes_without_recompute(
+            self, trained_tiny_model, eval_loader, serial_records, tmp_path):
+        points = make_points()
+        runner = CampaignRunner(trained_tiny_model, eval_loader, cache_dir=tmp_path)
+
+        killed_after = []
+
+        def kill_after_two(unit):
+            if len(killed_after) >= 2:
+                raise KeyboardInterrupt  # simulate ^C mid-sweep
+            killed_after.append(unit.ordinal)
+
+        interrupted = CampaignOrchestrator(runner, workers=1,
+                                           unit_hook=kill_after_two)
+        with pytest.raises(KeyboardInterrupt):
+            interrupted.run(points)
+        cached_units = len(list(tmp_path.glob("*.json")))
+        assert cached_units == 2  # finished units survived the kill
+
+        computed = []
+        resumed = CampaignOrchestrator(runner, workers=1,
+                                       unit_hook=lambda unit: computed.append(unit.ordinal))
+        result = resumed.run(points)
+        assert result.complete
+        assert canonical(result.records) == canonical(serial_records)
+        # Only the unit lost to the kill was recomputed.
+        assert computed == [2]
+        assert result.report.cached_units == 2
+        assert result.report.computed_units == 1
+
+    def test_partial_point_cache_skips_units_entirely(
+            self, trained_tiny_model, eval_loader, serial_records, tmp_path):
+        points = make_points()
+        # Prime the cache with one full point via the plain serial runner.
+        CampaignRunner(trained_tiny_model, eval_loader,
+                       cache_dir=tmp_path).run(points[:1])
+
+        seen = []
+        runner = CampaignRunner(trained_tiny_model, eval_loader, cache_dir=tmp_path)
+        orchestrator = CampaignOrchestrator(
+            runner, workers=1, unit_hook=lambda unit: seen.append(unit.point_index))
+        result = orchestrator.run(points)
+        assert sorted(seen) == [1, 2]  # point 0 answered from the cache
+        assert canonical(result.records) == canonical(serial_records)
+
+    def test_worker_crash_mid_sweep_is_retried(self, trained_tiny_model,
+                                               eval_loader, serial_records,
+                                               tmp_path):
+        latch = tmp_path / "crash-once"
+
+        def crash_once(unit):
+            if unit.ordinal == 0 and not latch.exists():
+                latch.touch()
+                os._exit(23)
+
+        runner = CampaignRunner(trained_tiny_model, eval_loader)
+        orchestrator = CampaignOrchestrator(runner, workers=2,
+                                            unit_hook=crash_once)
+        result = orchestrator.run(make_points())
+        assert result.complete
+        assert result.report.retries >= 1
+        assert canonical(result.records) == canonical(serial_records)
+
+    def test_unit_failure_exhausts_attempts_but_keeps_other_work(
+            self, trained_tiny_model, eval_loader, tmp_path):
+        def poison(unit):
+            if unit.ordinal == 1:
+                raise ValueError("poisoned unit")
+
+        runner = CampaignRunner(trained_tiny_model, eval_loader, cache_dir=tmp_path)
+        orchestrator = CampaignOrchestrator(runner, workers=1, max_attempts=2,
+                                            unit_hook=poison)
+        with pytest.raises(RuntimeError, match="poisoned unit"):
+            orchestrator.run(make_points())
+        # The two healthy units finished and were cached before the raise.
+        assert len(list(tmp_path.glob("*.json"))) == 2
+
+    def test_progress_events_carry_timing_and_eta(self, trained_tiny_model,
+                                                  eval_loader):
+        events = []
+        runner = CampaignRunner(trained_tiny_model, eval_loader, workers=2,
+                                progress=events.append)
+        runner.run(make_points())
+        done = [event for event in events if event["kind"] == "unit-done"]
+        assert len(done) == 3
+        assert all(event["seconds"] > 0 for event in done)
+        assert all("eta_seconds" in event for event in done)
+        assert {event["point_index"] for event in done} == {0, 1, 2}
+
+    def test_report_summary_counts(self, trained_tiny_model, eval_loader, tmp_path):
+        runner = CampaignRunner(trained_tiny_model, eval_loader, cache_dir=tmp_path)
+        orchestrator = CampaignOrchestrator(runner, workers=1)
+        first = orchestrator.run(make_points()).report
+        assert (first.total_units, first.computed_units, first.cached_units) == (3, 3, 0)
+        second = orchestrator.run(make_points()).report
+        assert second.computed_units == 0
+        summary = first.summary()
+        assert summary["computed_units"] == 3
+        assert summary["mean_unit_seconds"] > 0
+
+
+class TestSweepIntegration:
+    def test_fig5b_sweep_through_orchestrator_matches_serial(
+            self, trained_tiny_model, eval_loader, tmp_path):
+        kwargs = dict(rows=16, cols=16, counts=(0, 2, 4), trials=2, seed=9,
+                      dataset="mnist")
+        serial = sweep_faulty_pe_count(trained_tiny_model, eval_loader, **kwargs)
+        orchestrated = sweep_faulty_pe_count(
+            trained_tiny_model, eval_loader, workers=2, trial_chunk=1,
+            cache_dir=tmp_path, **kwargs)
+        assert canonical(orchestrated) == canonical(serial)
+        assert orchestrated[0]["num_faulty_pes"] == 0  # baseline row intact
