@@ -1,0 +1,127 @@
+"""CI perf-regression gate for the campaign-engine benchmark.
+
+Compares a freshly measured ``campaign_engine.json`` (written by
+``bench_campaign.py`` into ``REPRO_BENCH_RESULTS_DIR``) against the
+*recorded* baseline tracked in ``benchmarks/results/``.
+
+Rules (the documented gate policy):
+
+* **Identity mismatch always fails.**  The fresh run's ``meta`` row must
+  report ``identical_records: true`` -- float64 records bit-identical
+  across the sequential / batched / fused engines and both chain paths.
+  No tolerance applies.
+* **Only machine-relative ratios are gated.**  Absolute seconds are not
+  comparable between the recording box and a CI runner, but ratios
+  measured *within one run* are: the ``speedup`` column (cost relative to
+  the same run's sequential oracle) for the batched and fused engines,
+  and ``chain_fastpath_speedup`` (untiled reference chain path over the
+  uniform-tile fast path).  Each fresh ratio must be at least
+  ``(1 - tolerance)`` times the recorded one; the default tolerance is
+  30%, sized for noisy shared CI boxes (single-run ratios can swing
+  roughly 10-20%; a real fast-path regression costs 2x+).
+
+Exit status: 0 when the gate passes, 1 on any violation (so the CI step
+fails), 2 on malformed input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Engines whose same-run speedup (vs sequential) is gated.
+GATED_ENGINES = ("batched", "fused")
+
+#: Default allowed relative shortfall of a fresh ratio vs the recorded one.
+DEFAULT_TOLERANCE = 0.30
+
+
+def load_rows(path: Path) -> dict:
+    rows = json.loads(path.read_text())
+    return {row.get("engine"): row for row in rows if isinstance(row, dict)}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path(__file__).resolve().parent / "results" / "campaign_engine.json",
+        help="recorded baseline JSON (tracked in git)",
+    )
+    parser.add_argument(
+        "--fresh",
+        type=Path,
+        required=True,
+        help="freshly measured JSON from this CI run",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed relative shortfall of fresh vs recorded ratios "
+        "(default %(default)s; identity has no tolerance)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = load_rows(args.baseline)
+        fresh = load_rows(args.fresh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"perf gate: cannot read inputs: {exc}", file=sys.stderr)
+        return 2
+
+    failures = []
+
+    meta = fresh.get("meta")
+    if meta is None:
+        failures.append("fresh results carry no 'meta' row (identity unknown)")
+    elif not meta.get("identical_records"):
+        failures.append(
+            "IDENTITY MISMATCH: engine records are not bit-identical "
+            "(identical_records is false) -- this always fails, no tolerance"
+        )
+
+    def gate(label, fresh_value, recorded_value):
+        floor = recorded_value * (1.0 - args.tolerance)
+        status = "ok" if fresh_value >= floor else "REGRESSION"
+        print(
+            f"perf gate: {label}: fresh {fresh_value:.2f}x vs recorded "
+            f"{recorded_value:.2f}x (floor {floor:.2f}x) -> {status}"
+        )
+        if fresh_value < floor:
+            failures.append(
+                f"{label}: {fresh_value:.2f}x below floor {floor:.2f}x "
+                f"(recorded {recorded_value:.2f}x, tolerance {args.tolerance:.0%})"
+            )
+
+    for engine in GATED_ENGINES:
+        if engine not in fresh:
+            failures.append(f"fresh results miss the '{engine}' engine row")
+            continue
+        if engine not in baseline:
+            print(f"perf gate: no recorded baseline for '{engine}', skipping")
+            continue
+        gate(f"{engine} speedup", fresh[engine]["speedup"], baseline[engine]["speedup"])
+
+    recorded_meta = baseline.get("meta", {})
+    if meta and "chain_fastpath_speedup" in meta and "chain_fastpath_speedup" in recorded_meta:
+        gate(
+            "chain fast path",
+            meta["chain_fastpath_speedup"],
+            recorded_meta["chain_fastpath_speedup"],
+        )
+
+    if failures:
+        print("perf gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,7 +26,12 @@ if str(_SRC) not in sys.path:
 from repro.experiments import default_config, format_series, format_table, prepare_baseline
 from repro.utils import save_records
 
-RESULTS_DIR = Path(__file__).resolve().parent / "results"
+#: Where benchmark tables/JSON land.  CI points this at a scratch directory
+#: (``REPRO_BENCH_RESULTS_DIR=bench-fresh``) so the freshly measured numbers
+#: can be diffed against the *recorded* baselines in ``benchmarks/results/``
+#: by the perf-regression gate instead of overwriting them.
+RESULTS_DIR = Path(os.environ.get(
+    "REPRO_BENCH_RESULTS_DIR", Path(__file__).resolve().parent / "results"))
 
 #: Experiment scale used by every benchmark ("small" or "full").
 BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")

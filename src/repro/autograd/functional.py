@@ -12,11 +12,11 @@ enough for the small networks used in the FalVolt experiments.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
-from .tensor import Tensor, _as_array
+from .tensor import Tensor
 
 
 class Function:

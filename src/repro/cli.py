@@ -139,11 +139,19 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
                              "(sweep experiments only)")
     parser.add_argument("--trial-chunk", type=int, default=None, metavar="K",
                         help="split each sweep point into work units of at "
-                             "most K trials (default: one unit per point)")
+                             "most K trials (default: one unit per point); "
+                             "per-map accuracies are independent of the "
+                             "split, so merged float64 records are "
+                             "byte-identical to an unchunked run")
     parser.add_argument("--resume", action="store_true",
                         help=f"cache results under {DEFAULT_CACHE_DIR}/ (when "
                              "no --cache-dir is given) so an interrupted "
                              "sweep continues where it stopped")
+    parser.add_argument("--no-plan-cache", action="store_true",
+                        help="disable the per-process lowered-plan cache "
+                             "(the fused engine then re-lowers the "
+                             "inference plan per evaluation; results are "
+                             "unchanged either way)")
 
 
 def _resolve_cache_dir(args: argparse.Namespace) -> Optional[str]:
@@ -212,7 +220,8 @@ def _engine_kwargs_for(runner, args: argparse.Namespace) -> dict:
     accepted = inspect.signature(runner).parameters
     options = {"engine": args.engine, "workers": args.workers,
                "cache_dir": _resolve_cache_dir(args), "dtype": args.dtype,
-               "shard": args.shard, "trial_chunk": args.trial_chunk}
+               "shard": args.shard, "trial_chunk": args.trial_chunk,
+               "plan_cache": not args.no_plan_cache}
     if args.workers > 1 or args.shard is not None:
         options["progress"] = _print_progress
     return {key: value for key, value in options.items() if key in accepted}
@@ -273,7 +282,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     cache_dir = _resolve_cache_dir(args)
     engine_options = dict(engine=args.engine, workers=args.workers,
                           cache_dir=cache_dir, dtype=args.dtype,
-                          shard=args.shard, trial_chunk=args.trial_chunk)
+                          shard=args.shard, trial_chunk=args.trial_chunk,
+                          plan_cache=not args.no_plan_cache)
     if args.workers > 1 or args.shard is not None:
         engine_options["progress"] = _print_progress
     shard_text = f", shard {args.shard}" if args.shard is not None else ""

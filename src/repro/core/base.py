@@ -3,9 +3,8 @@
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Optional
 
-import numpy as np
 
 from ..datasets.base import DataLoader
 from ..faults.fault_map import FaultMap

@@ -10,9 +10,8 @@ single FalVolt run.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Sequence
 
-import numpy as np
 
 from ..datasets.base import DataLoader
 from ..faults.fault_map import FaultMap

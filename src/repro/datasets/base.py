@@ -11,7 +11,7 @@ stored per-sample as ``(T, C, H, W)`` arrays and batched to
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterator, Optional, Tuple
+from typing import Iterator, Tuple
 
 import numpy as np
 

@@ -15,7 +15,7 @@ than the static datasets in the paper's experiments.
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, List, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -11,7 +11,7 @@ code paths (static input, direct spike encoding) as real MNIST would.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 

@@ -12,7 +12,7 @@ paper's N-MNIST classifier consumes.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

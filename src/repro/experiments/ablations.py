@@ -14,14 +14,13 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from ..core import FalVolt
-from ..datasets import DataLoader
 from ..faults import fault_map_from_rate, evaluate_with_faults
 from ..snn import Adam, Trainer, build_model_for_dataset, get_surrogate
 from ..systolic import FixedPointFormat
 from ..utils.rng import derive_seed
 from .baseline import build_loaders, prepare_baseline
 from .config import ExperimentConfig, default_config
-from .mitigation import _fault_map_for_rate, run_mitigation
+from .mitigation import _fault_map_for_rate
 
 
 def ablate_surrogate_gradient(config: Optional[ExperimentConfig] = None,
@@ -90,7 +89,6 @@ def ablate_reset_mode(config: Optional[ExperimentConfig] = None,
                       epochs: Optional[int] = None) -> List[dict]:
     """Hard reset (to 0) vs soft reset (subtract threshold) baseline accuracy."""
 
-    from ..snn.neurons import BaseNode
 
     config = config or default_config(dataset)
     epochs = epochs if epochs is not None else config.baseline_epochs

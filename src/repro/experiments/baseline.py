@@ -10,7 +10,7 @@ one pytest session) does not repeat the training.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, Optional
+from typing import Dict
 
 import numpy as np
 

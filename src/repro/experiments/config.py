@@ -24,7 +24,7 @@ reuse behaviour that drives fault sensitivity).  See EXPERIMENTS.md.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 
 @dataclasses.dataclass(frozen=True)

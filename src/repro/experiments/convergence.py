@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from ..utils.rng import derive_seed
 from .baseline import prepare_baseline
 from .config import ExperimentConfig, default_config
 from .mitigation import _fault_map_for_rate, run_mitigation

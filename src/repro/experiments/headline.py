@@ -15,7 +15,7 @@ scaled-down setup and reports both the measured numbers and a boolean
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from .config import ExperimentConfig, default_config
 from .convergence import convergence_speedup, run_fig8_convergence

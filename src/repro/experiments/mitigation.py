@@ -18,7 +18,7 @@ by the baseline weights and the grid cell, so interrupted grids resume.
 from __future__ import annotations
 
 import functools
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..core import MITIGATIONS, get_mitigation
 from ..faults import cached_record, fault_map_from_rate, map_grid

@@ -8,7 +8,7 @@ benchmarks print and what EXPERIMENTS.md quotes.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 
 def format_value(value) -> str:

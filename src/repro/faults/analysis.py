@@ -29,7 +29,7 @@ multi-machine execution with unchanged records.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -61,11 +61,11 @@ def baseline_accuracy(model, loader) -> float:
 
 def _make_runner(model, loader, fmt: FixedPointFormat, engine: str,
                  workers: int, cache_dir, dtype: str, shard, trial_chunk,
-                 progress) -> CampaignRunner:
+                 progress, plan_cache=True) -> CampaignRunner:
     return CampaignRunner(model, loader, fmt=fmt, engine=engine,
                           workers=workers, cache_dir=cache_dir, dtype=dtype,
                           shard=shard, trial_chunk=trial_chunk,
-                          progress=progress)
+                          progress=progress, plan_cache=plan_cache)
 
 
 def sweep_bit_locations(model, loader, *,
@@ -83,7 +83,8 @@ def sweep_bit_locations(model, loader, *,
                         dtype: str = "float64",
                         shard=None,
                         trial_chunk=None,
-                        progress=None) -> List[dict]:
+                        progress=None,
+                        plan_cache=True) -> List[dict]:
     """Accuracy versus fault bit location and polarity (Fig. 5a).
 
     For each (bit position, stuck-at polarity) pair, ``trials`` random fault
@@ -92,7 +93,7 @@ def sweep_bit_locations(model, loader, *,
     """
 
     runner = _make_runner(model, loader, fmt, engine, workers, cache_dir,
-                          dtype, shard, trial_chunk, progress)
+                          dtype, shard, trial_chunk, progress, plan_cache)
     points: List[CampaignPoint] = []
     for stuck in stuck_types:
         stuck = StuckAtType.from_value(stuck)
@@ -131,7 +132,8 @@ def sweep_faulty_pe_count(model, loader, *,
                           dtype: str = "float64",
                           shard=None,
                           trial_chunk=None,
-                          progress=None) -> List[dict]:
+                          progress=None,
+                          plan_cache=True) -> List[dict]:
     """Accuracy versus number of faulty PEs (Fig. 5b).
 
     Faults are injected in the higher-order accumulator bits (worst case), and
@@ -142,7 +144,7 @@ def sweep_faulty_pe_count(model, loader, *,
     if bit_position is None:
         bit_position = fmt.magnitude_msb
     runner = _make_runner(model, loader, fmt, engine, workers, cache_dir,
-                          dtype, shard, trial_chunk, progress)
+                          dtype, shard, trial_chunk, progress, plan_cache)
     points = [
         CampaignPoint.for_trials(
             rows, cols, count, trials,
@@ -191,7 +193,8 @@ def sweep_array_sizes(model, loader, *,
                       dtype: str = "float64",
                       shard=None,
                       trial_chunk=None,
-                      progress=None) -> List[dict]:
+                      progress=None,
+                      plan_cache=True) -> List[dict]:
     """Accuracy versus systolic array size at a fixed number of faulty PEs (Fig. 5c).
 
     Smaller arrays are reused more heavily (more weights per PE), so the same
@@ -204,7 +207,7 @@ def sweep_array_sizes(model, loader, *,
         if num_faulty > size * size:
             raise ValueError(f"cannot place {num_faulty} faults in a {size}x{size} array")
     runner = _make_runner(model, loader, fmt, engine, workers, cache_dir,
-                          dtype, shard, trial_chunk, progress)
+                          dtype, shard, trial_chunk, progress, plan_cache)
     points = [
         CampaignPoint.for_trials(
             size, size, num_faulty, trials,

@@ -43,11 +43,24 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..systolic.fixed_point import DEFAULT_ACCUMULATOR_FORMAT, FixedPointFormat
+from ..utils.hashing import loader_token, model_token, state_token
 from ..utils.rng import get_rng
 from ..utils.serialization import load_records, save_records
 from .fault_map import FaultMap, random_fault_map
 from .fault_model import StuckAtType
 from .injection import evaluate_with_faults, evaluate_with_faults_batched
+
+__all__ = [
+    "CampaignPoint",
+    "CampaignRunner",
+    "DTYPES",
+    "ENGINES",
+    "cached_record",
+    "loader_token",
+    "map_grid",
+    "model_token",
+    "state_token",
+]
 
 #: Execution engines understood by :class:`CampaignRunner`.
 ENGINES = ("fused", "batched", "sequential")
@@ -146,39 +159,11 @@ class CampaignPoint:
 
 
 # ----------------------------------------------------------------------
-# Hashing / caching / pooling helpers (shared with the experiment drivers)
+# Caching / pooling helpers (shared with the experiment drivers)
 # ----------------------------------------------------------------------
-def state_token(state: Dict[str, np.ndarray]) -> str:
-    """Stable digest of a model state dict (name, shape, dtype and bytes)."""
-
-    digest = hashlib.sha256()
-    for name in sorted(state):
-        value = np.ascontiguousarray(state[name])
-        digest.update(name.encode("utf-8"))
-        digest.update(str(value.shape).encode("utf-8"))
-        digest.update(str(value.dtype).encode("utf-8"))
-        digest.update(value.tobytes())
-    return digest.hexdigest()
-
-
-def model_token(model) -> str:
-    """Stable digest of a model's parameters and buffers."""
-
-    return state_token(model.state_dict())
-
-
-def loader_token(loader) -> str:
-    """Stable digest of a data loader's dataset (inputs, labels, batching)."""
-
-    dataset = loader.dataset
-    digest = hashlib.sha256()
-    inputs = np.ascontiguousarray(dataset.inputs)
-    labels = np.ascontiguousarray(dataset.labels)
-    digest.update(str(inputs.shape).encode("utf-8"))
-    digest.update(inputs.tobytes())
-    digest.update(labels.tobytes())
-    digest.update(str(loader.batch_size).encode("utf-8"))
-    return digest.hexdigest()
+# The content-digest helpers (state_token / model_token / loader_token)
+# live in repro.utils.hashing and are re-exported here because campaign
+# cache keys are their primary consumer.
 
 
 def _digest_payload(payload: dict) -> str:
@@ -293,6 +278,17 @@ class CampaignRunner:
     progress:
         Optional callable receiving the orchestrator's structured progress
         events (per-unit timing, retries, ETA); parent process only.
+    plan_cache:
+        Per-process cache of the lowered inference plan, keyed by the
+        model token.  ``True`` (default) uses the process-wide
+        :func:`repro.snn.inference.default_plan_cache`; pass a
+        :class:`~repro.snn.inference.PlanCache` to isolate, or
+        ``False``/``None`` to re-lower per evaluation.  Orchestrated
+        sweeps warm the cache before forking, so workers -- including
+        replacements spawned after a crash -- inherit the lowered plan
+        through copy-on-write memory instead of re-lowering per work
+        unit.  The cache only affects *when* lowering happens, never the
+        records.
     """
 
     def __init__(self, model, loader, *,
@@ -305,7 +301,8 @@ class CampaignRunner:
                  dtype: str = "float64",
                  shard=None,
                  trial_chunk: Optional[int] = None,
-                 progress: Optional[Callable[[dict], None]] = None) -> None:
+                 progress: Optional[Callable[[dict], None]] = None,
+                 plan_cache=True) -> None:
         if engine not in ENGINES:
             raise ValueError(f"unknown engine '{engine}'; options: {ENGINES}")
         if dtype not in DTYPES:
@@ -328,9 +325,28 @@ class CampaignRunner:
         self.shard = shard
         self.trial_chunk = None if trial_chunk is None else int(trial_chunk)
         self.progress = progress
+        if plan_cache is True:
+            from ..snn.inference import default_plan_cache
+
+            plan_cache = default_plan_cache()
+        # Identity checks, not truthiness: an empty PlanCache has len() == 0
+        # and must still count as "enabled".
+        self.plan_cache = (None if plan_cache is None or plan_cache is False
+                           else plan_cache)
         self._model_token = model_token(model)
         self._data_token = loader_token(loader)
         self._baseline: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def warm_plan_cache(self) -> None:
+        """Lower the model into the plan cache now (no-op when disabled).
+
+        Called by the orchestrator before forking its worker pool so every
+        worker inherits the already-lowered plan via copy-on-write.
+        """
+
+        if self.plan_cache is not None and self.engine == "fused":
+            self.plan_cache.get_plan(self.model, token=self._model_token)
 
     # ------------------------------------------------------------------
     def baseline_accuracy(self) -> float:
@@ -346,7 +362,8 @@ class CampaignRunner:
                 from ..snn.inference import FusedInferenceEngine
 
                 self._baseline = FusedInferenceEngine(
-                    self.model, dtype=self.dtype).evaluate(self.loader)
+                    self.model, dtype=self.dtype, plan_cache=self.plan_cache,
+                    plan_token=self._model_token).evaluate(self.loader)
             else:
                 from .analysis import baseline_accuracy
                 self._baseline = baseline_accuracy(self.model, self.loader)
@@ -386,7 +403,8 @@ class CampaignRunner:
                 self.model, self.loader, fault_maps=maps,
                 bypass=self.bypass, fmt=self.fmt,
                 engine="fused" if self.engine == "fused" else "autograd",
-                dtype=self.dtype)
+                dtype=self.dtype, plan_cache=self.plan_cache,
+                plan_token=self._model_token)
         else:
             accuracies = [
                 evaluate_with_faults(self.model, self.loader, fault_map=fault_map,
@@ -424,7 +442,8 @@ class CampaignRunner:
                     self.model, self.loader, fault_maps=merged,
                     bypass=self.bypass, fmt=self.fmt,
                     engine="fused" if self.engine == "fused" else "autograd",
-                    dtype=self.dtype)
+                    dtype=self.dtype, plan_cache=self.plan_cache,
+                    plan_token=self._model_token)
                 offset = 0
                 for index, maps in chunk:
                     results[index] = self._record_for(

@@ -11,9 +11,8 @@ position).
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
-import numpy as np
 
 from ..systolic.fixed_point import FixedPointFormat, DEFAULT_ACCUMULATOR_FORMAT
 from ..utils.rng import get_rng

@@ -32,7 +32,7 @@ Three execution modes are provided:
 from __future__ import annotations
 
 import contextlib
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -213,7 +213,9 @@ def evaluate_with_faults(model: SpikingClassifier, loader,
                          bypass: bool = False,
                          fmt: FixedPointFormat = DEFAULT_ACCUMULATOR_FORMAT,
                          engine: str = "fused",
-                         dtype: str = "float64") -> float:
+                         dtype: str = "float64",
+                         plan_cache=None,
+                         plan_token: Optional[str] = None) -> float:
     """Measure the classification accuracy of ``model`` under fault injection.
 
     Parameters
@@ -238,6 +240,13 @@ def evaluate_with_faults(model: SpikingClassifier, loader,
     dtype:
         ``"float64"`` (default) or ``"float32"``; the latter requires the
         fused engine and trades bit-identity for speed.
+    plan_cache:
+        Optional :class:`~repro.snn.inference.PlanCache` the fused engine
+        fetches the lowered inference plan from instead of re-lowering
+        (content-keyed, so it cannot go stale across different models).
+    plan_token:
+        Optional precomputed model token for the cache lookup, skipping
+        the per-call state hashing (ignored without ``plan_cache``).
 
     Returns
     -------
@@ -254,7 +263,9 @@ def evaluate_with_faults(model: SpikingClassifier, loader,
     if engine == "fused":
         from ..snn.inference import FusedFaultEngine
 
-        return FusedFaultEngine(model, [array], dtype=dtype).evaluate(loader)[0]
+        return FusedFaultEngine(model, [array], dtype=dtype,
+                                plan_cache=plan_cache,
+                                plan_token=plan_token).evaluate(loader)[0]
 
     was_training = model.training
     model.eval()
@@ -278,7 +289,9 @@ def evaluate_with_faults_batched(model: SpikingClassifier, loader,
                                  bypass: bool = False,
                                  fmt: FixedPointFormat = DEFAULT_ACCUMULATOR_FORMAT,
                                  engine: str = "fused",
-                                 dtype: str = "float64") -> List[float]:
+                                 dtype: str = "float64",
+                                 plan_cache=None,
+                                 plan_token: Optional[str] = None) -> List[float]:
     """Measure per-fault-map accuracies of ``model`` in one multi-map pass.
 
     The whole sweep point -- all ``F`` fault maps -- costs roughly one
@@ -306,6 +319,12 @@ def evaluate_with_faults_batched(model: SpikingClassifier, loader,
         folds the maps into the batch axis of the software forward.
     dtype:
         ``"float64"`` (default) or ``"float32"`` (fused engine only).
+    plan_cache:
+        Optional :class:`~repro.snn.inference.PlanCache` the fused engine
+        fetches the lowered inference plan from instead of re-lowering.
+    plan_token:
+        Optional precomputed model token for the cache lookup, skipping
+        the per-call state hashing (ignored without ``plan_cache``).
 
     Returns
     -------
@@ -328,7 +347,9 @@ def evaluate_with_faults_batched(model: SpikingClassifier, loader,
                 raise ValueError("either fault_maps or array must be provided")
             arrays = [build_faulty_array(fault_map, fmt=fmt, bypass=bypass)
                       for fault_map in fault_maps]
-        return FusedFaultEngine(model, arrays, dtype=dtype).evaluate(loader)
+        return FusedFaultEngine(model, arrays, dtype=dtype,
+                                plan_cache=plan_cache,
+                                plan_token=plan_token).evaluate(loader)
 
     if array is None:
         if not fault_maps:

@@ -260,9 +260,15 @@ def run_tasks(num_tasks: int, fn: Callable[[int], object], *,
     ``fn`` is installed in a module global before the fork, so workers
     inherit it (and anything it closes over, e.g. a trained model) through
     copy-on-write memory; only integer indices and result payloads travel
-    through the queues.  Falls back to in-process execution (same retry
-    semantics) when ``workers <= 1``, when there is a single task, or on
-    platforms without the ``fork`` start method.
+    through the queues.  Any state warmed in the parent *before* this call
+    -- notably a :class:`~repro.snn.inference.PlanCache` holding the
+    lowered inference plan -- is likewise inherited by every worker, and
+    because **replacement workers are forked from the same parent**, a
+    worker spawned after a crash starts with the warmed cache too; no
+    worker ever re-lowers a plan the parent already lowered.  Falls back
+    to in-process execution (same retry semantics) when ``workers <= 1``,
+    when there is a single task, or on platforms without the ``fork``
+    start method.
     """
 
     results = [TaskResult() for _ in range(num_tasks)]
@@ -696,6 +702,13 @@ class CampaignOrchestrator:
 
         if not to_compute:
             return []
+        # Lower the inference plan into the runner's per-process plan cache
+        # *before* the pool forks: workers (and crash replacements, which
+        # fork from this same parent) inherit the lowered plan through
+        # copy-on-write memory instead of re-lowering once per work unit.
+        warm = getattr(self.runner, "warm_plan_cache", None)
+        if warm is not None:
+            warm()
         seconds_seen: List[float] = []
 
         def forward_progress(event: dict) -> None:

@@ -18,6 +18,7 @@ the bit-identity guarantees.
 """
 
 from .engine import FusedFaultEngine, FusedInferenceEngine
+from .plan_cache import PlanCache, default_plan_cache
 from .plan import (
     AffineSpec,
     BatchNormSpec,
@@ -40,6 +41,8 @@ __all__ = [
     "LoweringError",
     "NeuronSpec",
     "PlanBuilder",
+    "PlanCache",
     "PoolSpec",
+    "default_plan_cache",
     "lower_plan",
 ]

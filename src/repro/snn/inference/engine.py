@@ -79,10 +79,20 @@ class FusedInferenceEngine:
     dtype:
         ``"float64"`` (bit-identical to the autograd forward) or
         ``"float32"`` (documented-tolerance fast mode).
+    plan_cache:
+        Optional :class:`~repro.snn.inference.plan_cache.PlanCache`: the
+        lowered plan is fetched from (and stored into) the cache instead
+        of re-lowering, keyed by the model's content token.
+    plan_token:
+        Optional precomputed model token, skipping the state hashing on a
+        cache lookup (ignored without ``plan_cache``).
     """
 
-    def __init__(self, model, dtype: str = "float64") -> None:
-        self.plan: InferencePlan = lower_plan(model)
+    def __init__(self, model, dtype: str = "float64", plan_cache=None,
+                 plan_token: Optional[str] = None) -> None:
+        self.plan: InferencePlan = (
+            plan_cache.get_plan(model, token=plan_token)
+            if plan_cache is not None else lower_plan(model))
         self.dtype = _check_dtype(dtype)
         self._kernels = [make_kernel(op, self.dtype, affine_mode="software")
                          for op in self.plan.ops]
@@ -168,14 +178,22 @@ class FusedFaultEngine:
         bit; ``"float32"`` keeps the (fixed-point) fault arithmetic in
         float64 inside the array simulator but runs all elementwise SNN
         state in single precision.
+    plan_cache:
+        Optional :class:`~repro.snn.inference.plan_cache.PlanCache`; see
+        :class:`FusedInferenceEngine`.
+    plan_token:
+        Optional precomputed model token for the cache lookup.
     """
 
     def __init__(self, model, arrays: Sequence[SystolicArray],
-                 dtype: str = "float64") -> None:
+                 dtype: str = "float64", plan_cache=None,
+                 plan_token: Optional[str] = None) -> None:
         arrays = list(arrays)
         if not arrays:
             raise ValueError("FusedFaultEngine needs at least one array")
-        self.plan: InferencePlan = lower_plan(model)
+        self.plan: InferencePlan = (
+            plan_cache.get_plan(model, token=plan_token)
+            if plan_cache is not None else lower_plan(model))
         self.dtype = _check_dtype(dtype)
         self.num_maps = len(arrays)
         affine_specs = self.plan.affine_specs

@@ -1,82 +1,41 @@
-"""Overhead-trimmed faulty affine execution for the fused fault engine.
+"""Faulty affine execution for the fused fault engine.
 
-:class:`FaultyAffineRunner` re-implements the arithmetic of
+:class:`FaultyAffineRunner` executes one prepared (conv or linear) layer
+under a subset array's faults.  Since the fault-chain fast path moved into
+:mod:`repro.systolic.chain_kernel`, the runner is a thin wrapper: the dense
+per-map product is computed exactly as
 :meth:`repro.systolic.array.BatchedSystolicArray.matmul_batched` /
-``conv2d_batched`` for ONE prepared layer, hoisting every input-independent
-decision out of the per-call path: chain chunking, per-level active masks,
-stuck-at bit/polarity masks, scatter index arrays and fixed-point format
-constants are all precomputed at construction.  The remaining per-call work
-is exactly the sequence of numpy operations the shared simulator performs
--- the same GEMM shapes and operand layouts, the same quantise / force-bit
-/ dequantise steps in the same order -- so results are bit-identical to the
+``conv2d_batched`` would, and chain application is delegated to the shared
+uniform-tile kernel (:func:`~repro.systolic.chain_kernel
+.apply_chain_plan`) over the weight's prepared
+:class:`~repro.systolic.chain_kernel.UniformChainPlan` blocks -- the same
+code path the batched simulator runs, so results are bit-identical to the
 :class:`~repro.systolic.array.BatchedSystolicArray` path (and therefore to
 the sequential oracle), as the equivalence tests assert.
 
 This matters because fault campaigns run in a streaming regime: tiny
 batches, many time steps, hundreds of chain applications per evaluation.
-At those sizes the shared path's per-call bookkeeping (rebuilding masks,
-re-deriving chunk sizes, re-validating shapes) rivals the arithmetic
-itself; the runner removes it without forking the simulator's semantics.
+Everything input-independent -- chain grouping, per-level bit/polarity
+masks, scatter index arrays, fixed-point constants -- is precomputed at
+``prepare_weight`` time, so the per-call work is exactly the segment GEMMs
+and fused stuck-at passes.
+
+When ``chain_kernel.FASTPATH_ENABLED`` is off the runner routes chain
+application through the untiled reference implementation on the subset
+array instead, keeping the two paths comparable end to end.
 """
 
 from __future__ import annotations
-
-from typing import List, Optional
 
 import numpy as np
 
 from ...autograd.functional import im2col
 from ...systolic import array as systolic_array
+from ...systolic import chain_kernel
 from ...systolic.array import BatchedSystolicArray
+from ...systolic.chain_kernel import apply_chain_plan
 
 __all__ = ["FaultyAffineRunner"]
-
-
-class _Level:
-    """One stuck-at breakpoint level of a tile, with precomputed masks."""
-
-    __slots__ = ("w_stack", "active", "active_all", "bit_mask", "stuck_one",
-                 "all_sa1", "all_sa0")
-
-    def __init__(self, w_stack, active, bit_mask, stuck_one) -> None:
-        self.w_stack = w_stack                # (chains, tile_rows, n_out)
-        self.active_all = bool(active.all())
-        self.active = None if self.active_all else active[:, None, None]
-        self.bit_mask = bit_mask              # (chains, 1, 1) int64
-        self.stuck_one = stuck_one            # (chains, 1, 1) bool
-        # Uniform-polarity levels (the common case: a sweep uses one stuck
-        # type) skip the unused force branch and the where-select.
-        self.all_sa1 = bool(stuck_one.all())
-        self.all_sa0 = not stuck_one.any()
-
-
-class _Tile:
-    __slots__ = ("lo", "hi", "levels", "tail_stack", "applied",
-                 "applied_all", "applied_any")
-
-    def __init__(self, lo, hi, levels, tail_stack, n_sites) -> None:
-        self.lo = lo
-        self.hi = hi
-        self.levels = levels
-        self.tail_stack = tail_stack          # (chains, tile_rows, n_out)
-        applied = n_sites > 0
-        self.applied_all = bool(applied.all())
-        self.applied_any = bool(applied.any())
-        self.applied = applied[:, None, None]
-
-
-class _Group:
-    """One chain group (fixed outputs-per-column) with scatter indices."""
-
-    __slots__ = ("map_ids", "tiles", "n_out", "map_sel", "out_sel", "n_chains")
-
-    def __init__(self, table, tiles) -> None:
-        self.map_ids = table.map_ids
-        self.tiles = tiles
-        self.n_out = table.n_out
-        self.n_chains = len(table.chains)
-        self.map_sel = table.map_ids[:, None, None]
-        self.out_sel = table.out_idx2d[:, None, :]
 
 
 class FaultyAffineRunner:
@@ -93,6 +52,8 @@ class FaultyAffineRunner:
     """
 
     def __init__(self, subset: BatchedSystolicArray, prepared, spec) -> None:
+        self.subset = subset
+        self.prepared = prepared
         self.num_maps = subset.num_maps
         self.spec = spec
         self.weight_matrix = prepared.weight_matrix
@@ -100,118 +61,25 @@ class FaultyAffineRunner:
         self.stacked_weights = prepared.stacked_weights
         self.bias = None if spec.bias is None else np.asarray(spec.bias,
                                                               dtype=np.float64)
-        fmt = subset.fmt
-        self.scale = fmt.scale
-        self.min_code = fmt.min_code
-        self.max_code = fmt.max_code
-        self.word_mask = (1 << fmt.total_bits) - 1
-        self.sign_mask = 1 << (fmt.total_bits - 1)
-        self.full_range = 1 << fmt.total_bits
         self.rows = subset.rows
-
-        self.groups: List[_Group] = []
-        for plan in prepared.chain_plans:
-            table = plan.table
-            tiles = []
-            for tile in plan.tiles:
-                levels = []
-                for index, w_stack in enumerate(tile.level_stacks):
-                    active = index < tile.n_sites
-                    bit_mask = np.left_shift(
-                        np.int64(1), table.bits2d[:, index])[:, None, None]
-                    stuck_one = (table.stuck2d[:, index] == 1)[:, None, None]
-                    levels.append(_Level(w_stack, active, bit_mask, stuck_one))
-                tiles.append(_Tile(tile.lo, tile.hi, levels, tile.tail_stack,
-                                   tile.n_sites))
-            self.groups.append(_Group(table, tiles))
-        self._batch_idx: Optional[np.ndarray] = None
+        self.kernel = subset._stuck_kernel
 
     # ------------------------------------------------------------------
-    def _apply_stuck(self, values: np.ndarray, level: _Level,
-                     chunk: slice) -> np.ndarray:
-        """Exact :meth:`BatchedSystolicArray._apply_stuck_block` arithmetic.
-
-        In-place ufunc steps and uniform-polarity shortcuts change the
-        number of temporaries, not any computed value.
-        """
-
-        codes = values / self.scale
-        np.round(codes, out=codes)
-        np.clip(codes, self.min_code, self.max_code, out=codes)
-        raw = codes.astype(np.int64)
-        raw &= self.word_mask
-        bit_mask = level.bit_mask[chunk]
-        if level.all_sa1:
-            forced = raw
-            forced |= bit_mask
-        elif level.all_sa0:
-            forced = raw
-            forced &= ~bit_mask
+    def _apply_chains(self, x: np.ndarray, output: np.ndarray,
+                      shared: bool) -> None:
+        if chain_kernel.FASTPATH_ENABLED:
+            for plan in self.prepared.chain_plans:
+                # Read the block cap through the module so tests can shrink
+                # it to force the multi-chunk path.
+                apply_chain_plan(plan.uniform, x, output, shared, self.kernel,
+                                 self.rows,
+                                 systolic_array._CHAIN_BLOCK_ELEMENTS)
         else:
-            forced = np.where(level.stuck_one[chunk], raw | bit_mask,
-                              raw & ~bit_mask)
-        signed = np.where(forced & self.sign_mask, forced - self.full_range,
-                          forced)
-        return signed.astype(np.float64) * self.scale
-
-    def _apply_group(self, group: _Group, inputs: np.ndarray,
-                     output: np.ndarray, shared: bool) -> None:
-        batch = inputs.shape[-2]
-        n_out = group.n_out
-        # Read the block cap through the module so tests can shrink it to
-        # force the multi-chunk path.
-        block = max(1, systolic_array._CHAIN_BLOCK_ELEMENTS
-                    // max(1, batch * max(self.rows, n_out)))
-        if self._batch_idx is None or self._batch_idx.shape[1] != batch:
-            self._batch_idx = np.arange(batch)[None, :, None]
-        for start in range(0, group.n_chains, block):
-            chunk = slice(start, min(start + block, group.n_chains))
-            size = chunk.stop - chunk.start
-            col_out = np.zeros((size, batch, n_out))
-            for tile in group.tiles:
-                if shared:
-                    x_stack = inputs[:, tile.lo:tile.hi]
-                else:
-                    x_stack = inputs[group.map_ids[chunk], :, tile.lo:tile.hi]
-                acc = None  # identically zero until the first applied level
-                for level in tile.levels:
-                    active = None if level.active_all else level.active[chunk]
-                    if active is not None and not active.any():
-                        continue
-                    segment = np.matmul(x_stack, level.w_stack[chunk])
-                    if acc is None:
-                        # 0 + segment differs from segment only in zero
-                        # signs, which quantisation maps to the same codes.
-                        vals = segment
-                    else:
-                        vals = np.add(acc, segment, out=segment)
-                    candidate = self._apply_stuck(vals, level, chunk)
-                    if active is None:
-                        acc = candidate
-                    else:
-                        if acc is None:
-                            acc = np.zeros((size, batch, n_out))
-                        acc = np.where(active, candidate, acc)
-                tails = np.matmul(x_stack, tile.tail_stack[chunk])
-                # Applied flags must be evaluated per chunk: a chunk whose
-                # chains all have zero sites in this tile is tail-only even
-                # when other chunks of the group are not.
-                if chunk.stop - chunk.start == group.n_chains:
-                    applied_all, applied_any = tile.applied_all, tile.applied_any
-                else:
-                    applied = tile.applied[chunk]
-                    applied_all = bool(applied.all())
-                    applied_any = bool(applied.any())
-                if applied_all:
-                    col_out += acc + tails
-                elif not applied_any:
-                    col_out += tails
-                else:
-                    # Mixed chunk: level 0 is active exactly for the applied
-                    # chains, so ``acc`` was materialised above.
-                    col_out += np.where(tile.applied[chunk], acc + tails, tails)
-            output[group.map_sel[chunk], self._batch_idx,
-                   group.out_sel[chunk]] = col_out
+            ref_inputs = (np.broadcast_to(x, (self.num_maps,) + x.shape)
+                          if shared else x)
+            for plan in self.prepared.chain_plans:
+                self.subset._apply_chain_plan_reference(plan, ref_inputs,
+                                                        output, shared)
 
     # ------------------------------------------------------------------
     def matmul(self, x: np.ndarray, shared: bool) -> np.ndarray:
@@ -233,8 +101,7 @@ class FaultyAffineRunner:
             output = np.repeat(shared_prod[np.newaxis], self.num_maps, axis=0)
         else:
             output = np.matmul(x, self.weight_t)
-        for group in self.groups:
-            self._apply_group(group, x, output, shared)
+        self._apply_chains(x, output, shared)
         if self.bias is not None:
             output = output + self.bias
         return output

@@ -1,0 +1,107 @@
+"""Per-process cache of lowered inference plans, keyed by model token.
+
+Lowering a model into an :class:`~repro.snn.inference.plan.InferencePlan`
+is cheap once, but the campaign orchestrator evaluates *many* work units
+per process -- and every :class:`~repro.snn.inference.engine
+.FusedFaultEngine` / :class:`~repro.snn.inference.engine
+.FusedInferenceEngine` construction used to re-lower the same trained
+model from scratch.  A :class:`PlanCache` removes that repetition:
+
+* **Keyed by content, not identity.**  The cache key is the model token
+  (:func:`repro.utils.hashing.model_token` -- a digest of every parameter
+  and buffer) plus the wrapper's ``time_steps``, so a stale hit would
+  require two different module trees with byte-identical state; mutating
+  any weight changes the token and misses.  Callers that already hold the
+  token (e.g. :class:`~repro.faults.campaign.CampaignRunner`) pass it to
+  skip re-hashing.
+* **Per process, fork-friendly.**  Entries are plain Python objects whose
+  weight arrays are captured *by reference*, so a cache warmed in the
+  orchestrator parent is inherited by every forked worker -- including
+  replacement workers spawned after a crash -- through copy-on-write
+  memory.  Workers therefore lower the plan zero times.
+* **Reference semantics caveat.**  Like the engines themselves, a cached
+  plan references the lowering-time weight arrays.  If parameters are
+  mutated *in place* (not replaced), drop the cache (:meth:`clear`)
+  exactly as you would rebuild an engine.
+
+The module-level :func:`default_plan_cache` is the process-wide instance
+used by :class:`~repro.faults.campaign.CampaignRunner` unless an explicit
+cache (or ``plan_cache=False``) is configured.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ...utils.hashing import model_token
+from .plan import InferencePlan, lower_plan
+
+__all__ = ["PlanCache", "default_plan_cache"]
+
+
+class PlanCache:
+    """Bounded per-process cache of :class:`InferencePlan` objects.
+
+    Parameters
+    ----------
+    max_entries:
+        Entries kept before the oldest is evicted (insertion order).
+        Plans hold weight *references*, so the bound limits bookkeeping,
+        not tensor memory.
+    """
+
+    def __init__(self, max_entries: int = 8) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        self.max_entries = int(max_entries)
+        self._plans: Dict[Tuple[str, int], InferencePlan] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def clear(self) -> None:
+        """Drop every cached plan (required after in-place weight mutation)."""
+
+        self._plans.clear()
+
+    def token_for(self, model) -> str:
+        """The cache token of ``model`` (content digest of its state)."""
+
+        return model_token(model)
+
+    def get_plan(self, model, token: Optional[str] = None) -> InferencePlan:
+        """The lowered plan of ``model``, lowering at most once per content.
+
+        ``token`` skips the state hashing when the caller already knows the
+        model token (it must be :meth:`token_for` of the *current* state).
+        """
+
+        if token is None:
+            token = model_token(model)
+        key = (token, int(getattr(model, "time_steps", 0) or 0))
+        plan = self._plans.get(key)
+        if plan is None:
+            self.misses += 1
+            plan = lower_plan(model)
+            if len(self._plans) >= self.max_entries:
+                self._plans.pop(next(iter(self._plans)))
+            self._plans[key] = plan
+        else:
+            self.hits += 1
+        return plan
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"PlanCache({len(self._plans)}/{self.max_entries} entries, "
+                f"{self.hits} hits, {self.misses} misses)")
+
+
+#: Process-wide default instance (forked workers inherit its entries).
+_DEFAULT_CACHE = PlanCache()
+
+
+def default_plan_cache() -> PlanCache:
+    """The process-wide :class:`PlanCache` shared by campaign runners."""
+
+    return _DEFAULT_CACHE

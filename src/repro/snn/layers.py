@@ -9,7 +9,6 @@ systolic array.
 from __future__ import annotations
 
 import math
-from typing import Optional
 
 import numpy as np
 

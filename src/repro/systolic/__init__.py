@@ -16,6 +16,8 @@ from .mapping import (
     tile_counts,
 )
 from .array import BatchedSystolicArray, FaultSite, SystolicArray, matmul_batched
+from . import chain_kernel
+from .chain_kernel import StuckAtKernel
 from .scheduler import (
     LayerSchedule,
     LayerWorkload,
@@ -37,7 +39,9 @@ __all__ = [
     "tile_counts",
     "BatchedSystolicArray",
     "FaultSite",
+    "StuckAtKernel",
     "SystolicArray",
+    "chain_kernel",
     "matmul_batched",
     "LayerSchedule",
     "LayerWorkload",

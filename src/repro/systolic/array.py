@@ -37,7 +37,9 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..autograd.functional import _conv_output_size, im2col
+from ..autograd.functional import im2col
+from . import chain_kernel
+from .chain_kernel import StuckAtKernel, apply_chain_plan, build_uniform_plan
 from .fixed_point import DEFAULT_ACCUMULATOR_FORMAT, FixedPointFormat
 from .mapping import as_weight_matrix, tile_counts
 from .pe import ProcessingElement
@@ -340,10 +342,16 @@ class _ChainTilePlan:
 
 @dataclasses.dataclass
 class _ChainPlan:
-    """One chain group's precomputed weight stacks across all tiles."""
+    """One chain group's precomputed weight stacks across all tiles.
+
+    ``tiles`` is the ragged (chunked-reference) layout; ``uniform`` is the
+    uniform-tile regrouping of the same chains consumed by the shared fast
+    path in :mod:`repro.systolic.chain_kernel`.
+    """
 
     table: _ChainTable
     tiles: List[_ChainTilePlan]
+    uniform: chain_kernel.UniformChainPlan
 
 
 @dataclasses.dataclass
@@ -392,6 +400,7 @@ class BatchedSystolicArray:
         self.rows = first.rows
         self.cols = first.cols
         self.fmt = first.fmt
+        self._stuck_kernel = StuckAtKernel(first.fmt)
         # Immutable snapshot of each map's active (non-bypassed) faults.
         self._faults_by_col = [array._active_faults_by_column() for array in arrays]
         self._bypassed = [array.bypassed_coordinates for array in arrays]
@@ -578,7 +587,8 @@ class BatchedSystolicArray:
                     for c in range(n_chains):
                         tail_stack[c, starts[c]:] = w_rows[c][:, lo + starts[c]:hi].T
                     tiles.append(_ChainTilePlan(lo, hi, n_sites, level_stacks, tail_stack))
-                chain_plans.append(_ChainPlan(table, tiles))
+                chain_plans.append(_ChainPlan(table, tiles,
+                                              build_uniform_plan(table, tiles)))
 
         return _PreparedWeight(weight_matrix, stacked_weights, chain_plans)
 
@@ -686,12 +696,34 @@ class BatchedSystolicArray:
                           output: np.ndarray, shared_inputs: bool) -> None:
         """Replace the faulty columns of ``output`` with their chain values.
 
+        Dispatches to the shared uniform-tile fast path
+        (:func:`repro.systolic.chain_kernel.apply_chain_plan`) unless
+        ``chain_kernel.FASTPATH_ENABLED`` is off, in which case the untiled
+        chunked reference below runs.  Both are bit-identical to
+        :meth:`SystolicArray._faulty_matmul` (pinned by the equivalence and
+        hypothesis tests).
+        """
+
+        if chain_kernel.FASTPATH_ENABLED:
+            apply_chain_plan(plan.uniform,
+                             inputs[0] if shared_inputs else inputs,
+                             output, shared_inputs, self._stuck_kernel,
+                             self.rows, _CHAIN_BLOCK_ELEMENTS)
+        else:
+            self._apply_chain_plan_reference(plan, inputs, output, shared_inputs)
+
+    def _apply_chain_plan_reference(self, plan: "_ChainPlan", inputs: np.ndarray,
+                                    output: np.ndarray,
+                                    shared_inputs: bool) -> None:
+        """Untiled (ragged-chunk) chain application: the fast path's oracle.
+
         Each chain segment is a full-tile-width GEMM against a weight whose
         complement rows are zeroed (exactly the sequential formulation), so
         one stacked matmul evaluates the current segment of every chain at
         once, and the stuck-at bit forcing at each breakpoint level is also
         applied to all chains together.  Both steps preserve per-chain
-        bit-identity with :meth:`SystolicArray._faulty_matmul`.
+        bit-identity with :meth:`SystolicArray._faulty_matmul`.  Kept as the
+        property-test oracle for the uniform-tile fast path.
         """
 
         table = plan.table

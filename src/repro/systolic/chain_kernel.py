@@ -1,0 +1,382 @@
+"""Bit-safe fault-chain fast path shared by every campaign engine.
+
+Fault-chain application -- the per-level segment GEMMs plus stuck-at
+quantisation of :meth:`repro.systolic.array.BatchedSystolicArray
+._apply_chain_plan` -- is the dominant cold cost of campaign sweeps (see
+ROADMAP "next perf frontier").  This module hoists the two bit-safe levers
+identified there into one implementation that both the batched simulator
+and the fused inference engine's :class:`~repro.snn.inference.faulty_gemm
+.FaultyAffineRunner` import:
+
+* **Uniform tiles.**  Chains are regrouped at *prepare time* by their
+  per-tile active-site signature (the number of stuck-at breakpoint levels
+  a chain has in each weight tile) and *permuted so every group is a
+  contiguous slice* of the chain axis.  Inside one group every chain has
+  the same level count and the same tail layout, so the per-level segment
+  GEMM and bit forcing run once per group with **no** per-level ``active``
+  masks, no ``np.where`` selects and no zero-filled accumulators for
+  not-yet-applied chains -- the ragged bookkeeping the chunked reference
+  path pays on every call.  Because groups are contiguous, the per-call
+  memory behaviour is identical to the reference path (one activation
+  gather per chunk and tile, one scatter per chunk); all per-group work
+  happens on views.
+
+* **Fused stuck-at kernel.**  :class:`StuckAtKernel` performs the
+  quantise -> force-bit -> dequantise sequence as one in-place pass over
+  the chain block: the float buffer is divided, rounded and clipped in
+  place, cast into a reusable ``int64`` scratch, bit-forced with
+  precomputed (per-chain) masks, sign-extended with the two's-complement
+  ``xor``/``sub`` identity instead of a ``np.where`` select, and written
+  back into the same float buffer.  No per-level temporaries survive the
+  call.
+
+Bit-identity rules (why this is safe):
+
+* A stacked ``(G, batch, k) @ (G, k, n)`` matmul evaluates each leading
+  slice as an independent 2D GEMM, so permuting chains along the stack
+  axis cannot change any chain's result -- the same property the chunked
+  reference path already relies on (and the equivalence tests pin).
+* Every arithmetic step keeps the exact operand geometry of the
+  sequential oracle: per-chain segment GEMMs of shape
+  ``(batch, tile_rows) @ (tile_rows, n_out)``, the same quantise / force /
+  dequantise order, and the same ``0 +`` normalisation of the *unquantised*
+  tail sums (negative zeros produced by a tail GEMM must collapse to
+  ``+0.0`` exactly as they do when the oracle accumulates into a
+  zero-initialised buffer).  Skipping the ``0 +`` before the *first
+  quantised* level is safe because quantisation maps ``-0.0`` and ``+0.0``
+  to the same code -- the documented property the fused runner has pinned
+  since PR 2.
+* The in-place sign extension ``raw ^= S; raw -= S`` (with ``S`` the sign
+  bit) equals ``where(raw & S, raw - 2S, raw)`` for every value in
+  ``[0, 2S)`` -- exact int64 arithmetic, no rounding anywhere.
+* Chains scatter to disjoint (map, column) output slices, so neither the
+  permutation nor the group processing order can affect the result.
+
+Set ``REPRO_CHAIN_FASTPATH=0`` (or flip :data:`FASTPATH_ENABLED`) to route
+chain application through the untiled reference implementation
+(:meth:`~repro.systolic.array.BatchedSystolicArray
+._apply_chain_plan_reference`); the property tests and the recorded
+benchmark drive both paths and assert ``tobytes()`` equality.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "FASTPATH_ENABLED",
+    "GroupBlock",
+    "LevelBlock",
+    "StuckAtKernel",
+    "TileBlock",
+    "UniformChainPlan",
+    "apply_chain_plan",
+    "build_uniform_plan",
+]
+
+#: Route chain application through the uniform-tile fast path.  Initialised
+#: from ``REPRO_CHAIN_FASTPATH`` (default on); tests and the recorded
+#: benchmark flip it to compare against the untiled reference path.
+FASTPATH_ENABLED = os.environ.get("REPRO_CHAIN_FASTPATH", "1").lower() not in (
+    "0", "false", "off")
+
+
+class StuckAtKernel:
+    """Fused vectorised stuck-at forcing for one fixed-point format.
+
+    One :meth:`force` call performs the whole quantise -> force-bit ->
+    dequantise sequence of :meth:`FixedPointFormat.apply_stuck_at` over a
+    ``(chains, batch, n_out)`` block, in place, broadcasting per-chain bit
+    positions and polarities.  The arithmetic is step-for-step identical to
+    the scalar path (same division, same round-half-to-even, same clip,
+    same two's-complement bit logic), so results are bit-identical; only
+    the number of temporaries changes.
+    """
+
+    __slots__ = ("scale", "min_code", "max_code", "word_mask", "sign_mask")
+
+    def __init__(self, fmt) -> None:
+        self.scale = fmt.scale
+        self.min_code = fmt.min_code
+        self.max_code = fmt.max_code
+        self.word_mask = (1 << fmt.total_bits) - 1
+        self.sign_mask = 1 << (fmt.total_bits - 1)
+
+    def force(self, values: np.ndarray, level: "LevelBlock", chunk: slice,
+              raw: np.ndarray) -> np.ndarray:
+        """Force ``level``'s stuck bits into ``values`` (overwritten), in place.
+
+        ``values`` must be an owned float64 buffer of shape
+        ``(size, batch, n_out)``; ``raw`` an int64 scratch of the same
+        shape, reused across levels and tiles of one chunk.  ``chunk``
+        selects the group-local chain range of the per-chain masks.
+        """
+
+        np.divide(values, self.scale, out=values)
+        # rint == round(decimals=0) bitwise (both round half to even) and
+        # minimum(maximum(.)) == clip bitwise (incl. NaN propagation); the
+        # raw ufuncs skip the fromnumeric wrapper overhead on this hot path.
+        np.rint(values, out=values)
+        np.maximum(values, self.min_code, out=values)
+        np.minimum(values, self.max_code, out=values)
+        # Exact: post-clip values are integers in [min_code, max_code].
+        np.copyto(raw, values, casting="unsafe")
+        raw &= self.word_mask
+        if level.all_sa1:
+            raw |= level.bit_mask[chunk]
+        elif level.all_sa0:
+            raw &= level.inv_mask[chunk]
+        else:
+            np.copyto(raw, np.where(level.stuck_one[chunk],
+                                    raw | level.bit_mask[chunk],
+                                    raw & level.inv_mask[chunk]))
+        # Two's-complement sign extension without a where-select.
+        raw ^= self.sign_mask
+        raw -= self.sign_mask
+        return np.multiply(raw, self.scale, out=values)
+
+
+@dataclasses.dataclass
+class LevelBlock:
+    """One stuck-at breakpoint level of a uniform group, with fused masks."""
+
+    w_stack: np.ndarray             # (group, tile_rows, n_out) segment weights
+    bit_mask: np.ndarray            # (group, 1, 1) int64
+    inv_mask: np.ndarray            # (group, 1, 1) int64, ~bit_mask
+    stuck_one: Optional[np.ndarray]  # (group, 1, 1) bool; None when uniform
+    all_sa1: bool
+    all_sa0: bool
+
+
+@dataclasses.dataclass
+class TileBlock:
+    """One weight tile of a uniform group: its levels plus the tail segment."""
+
+    levels: List[LevelBlock]        # exactly the group's site count here
+    tail_stack: np.ndarray          # (group, tile_rows, n_out)
+
+
+@dataclasses.dataclass
+class GroupBlock:
+    """Chains sharing one per-tile site-count signature (the tiling rule).
+
+    ``start``/``end`` locate the group on the *permuted* chain axis of its
+    :class:`UniformChainPlan`; within the group every chain applies the
+    same number of breakpoint levels in every tile, so application needs
+    no activity masks at all.  ``map_runs`` lists the group's maximal runs
+    of consecutive chains sharing one fault map (group-relative
+    ``(start, end, map_index)``): the wide-batch path issues one broadcast
+    GEMM per run instead of gathering activations per chain.
+    """
+
+    start: int
+    end: int
+    tiles: List[TileBlock]          # one entry per weight tile
+    map_runs: List[Tuple[int, int, int]]
+
+
+@dataclasses.dataclass
+class UniformChainPlan:
+    """One chain table regrouped into contiguous uniform-tile groups."""
+
+    map_ids: np.ndarray             # (chains,) fault-map index, permuted
+    map_sel: np.ndarray             # (chains, 1, 1) scatter index
+    out_sel: np.ndarray             # (chains, 1, n_out) scatter index
+    n_out: int
+    tile_bounds: List[Tuple[int, int]]  # (lo, hi) input rows per weight tile
+    groups: List[GroupBlock]
+    has_levels: bool
+
+
+def build_uniform_plan(table, tiles) -> UniformChainPlan:
+    """Regroup a chain table into uniform-tile blocks (prepare time).
+
+    ``table`` / ``tiles`` are the ragged
+    :class:`~repro.systolic.array._ChainTable` /
+    :class:`~repro.systolic.array._ChainTilePlan` structures; the returned
+    plan holds the chains permuted so that every signature group is a
+    contiguous slice, with per-group contiguous copies of the segment and
+    tail stacks plus precomputed bit/polarity masks, so the per-call path
+    does no mask derivation at all.  Group order follows first signature
+    occurrence (deterministic), and chains scatter to disjoint output
+    columns, so the permutation cannot affect results.
+    """
+
+    n_chains = len(table.map_ids)
+    signatures = np.stack(
+        [np.asarray(tile.n_sites, dtype=np.int64) for tile in tiles], axis=1)
+    by_signature: Dict[tuple, List[int]] = {}
+    for chain in range(n_chains):
+        by_signature.setdefault(tuple(signatures[chain]), []).append(chain)
+
+    groups: List[GroupBlock] = []
+    permutation: List[int] = []
+    has_levels = False
+    for signature, members in by_signature.items():
+        idx = np.asarray(members, dtype=np.int64)
+        start = len(permutation)
+        permutation.extend(members)
+        tile_blocks: List[TileBlock] = []
+        for tile_index, tile in enumerate(tiles):
+            levels: List[LevelBlock] = []
+            for level in range(int(signature[tile_index])):
+                has_levels = True
+                stuck_one = (table.stuck2d[idx, level] == 1)
+                bit_mask = np.left_shift(
+                    np.int64(1), table.bits2d[idx, level])[:, None, None]
+                all_sa1 = bool(stuck_one.all())
+                all_sa0 = not stuck_one.any()
+                levels.append(LevelBlock(
+                    w_stack=np.ascontiguousarray(tile.level_stacks[level][idx]),
+                    bit_mask=bit_mask,
+                    inv_mask=np.bitwise_not(bit_mask),
+                    stuck_one=(None if all_sa1 or all_sa0
+                               else stuck_one[:, None, None]),
+                    all_sa1=all_sa1,
+                    all_sa0=all_sa0))
+            tile_blocks.append(TileBlock(
+                levels=levels,
+                tail_stack=np.ascontiguousarray(tile.tail_stack[idx])))
+        # Chains arrive map-ascending from the chain tables, so a signature
+        # subset keeps consecutive same-map chains adjacent: record the
+        # maximal runs for the broadcast-GEMM path.
+        map_runs: List[Tuple[int, int, int]] = []
+        group_maps = table.map_ids[idx].tolist()
+        run_start = 0
+        for position in range(1, len(group_maps) + 1):
+            if (position == len(group_maps)
+                    or group_maps[position] != group_maps[run_start]):
+                map_runs.append((run_start, position, group_maps[run_start]))
+                run_start = position
+        groups.append(GroupBlock(start=start, end=len(permutation),
+                                 tiles=tile_blocks, map_runs=map_runs))
+
+    perm = np.asarray(permutation, dtype=np.int64)
+    map_ids = table.map_ids[perm]
+    return UniformChainPlan(
+        map_ids=map_ids,
+        map_sel=map_ids[:, None, None],
+        out_sel=table.out_idx2d[perm][:, None, :],
+        n_out=table.n_out,
+        tile_bounds=[(tile.lo, tile.hi) for tile in tiles],
+        groups=groups,
+        has_levels=has_levels)
+
+
+#: Batch size from which the non-shared path switches from one gathered
+#: activation copy per (chunk, tile) to per-chain 2D GEMMs on input views.
+#: The gather costs ``chains x batch x tile_rows`` bytes of traffic, the
+#: view loop ``~(levels + 1) x chains`` numpy dispatches; wide folded
+#: convolution batches are gather-bound, tiny streaming batches
+#: dispatch-bound.  Both strategies run the exact per-chain GEMM geometry
+#: of the sequential oracle (a 2D product on a strided view IS what the
+#: oracle executes), so the choice cannot affect results.
+PER_CHAIN_GEMM_BATCH = 64
+
+#: Cache of ``arange(batch)[None, :, None]`` scatter indices per batch size.
+_BATCH_IDX_CACHE: Dict[int, np.ndarray] = {}
+
+
+def _batch_idx(batch: int) -> np.ndarray:
+    cached = _BATCH_IDX_CACHE.get(batch)
+    if cached is None:
+        if len(_BATCH_IDX_CACHE) > 64:
+            _BATCH_IDX_CACHE.clear()
+        cached = _BATCH_IDX_CACHE[batch] = np.arange(batch)[None, :, None]
+    return cached
+
+
+def apply_chain_plan(plan: UniformChainPlan, inputs: np.ndarray,
+                     output: np.ndarray, shared: bool, kernel: StuckAtKernel,
+                     rows: int, block_elements: int) -> None:
+    """Replace the faulty columns of ``output`` with their chain values.
+
+    ``inputs`` is ``(batch, in_features)`` when ``shared`` (identical
+    activations for every map) or ``(F, batch, in_features)`` otherwise;
+    ``output`` is the dense ``(F, batch, out_features)`` product, corrected
+    in place.  Chain chunks are bounded by ``block_elements`` exactly as in
+    the reference path so wide (folded convolution) batches stay within the
+    memory envelope.
+    """
+
+    batch = inputs.shape[-2]
+    batch_idx = _batch_idx(batch)
+    n_chains = plan.map_ids.shape[0]
+    n_out = plan.n_out
+    map_ids = plan.map_ids
+    by_view = not shared and batch >= PER_CHAIN_GEMM_BATCH
+    if by_view:
+        # One slice view per (map, tile), hoisted out of the chain loops.
+        tile_views = [
+            [inputs[m, :, lo:hi] for m in range(inputs.shape[0])]
+            for lo, hi in plan.tile_bounds
+        ]
+    block = max(1, block_elements // max(1, batch * max(rows, n_out)))
+    for start in range(0, n_chains, block):
+        stop = min(start + block, n_chains)
+        size = stop - start
+        col_out = np.empty((size, batch, n_out))
+        raw = (np.empty((size, batch, n_out), dtype=np.int64)
+               if plan.has_levels else None)
+        for tile_index, (lo, hi) in enumerate(plan.tile_bounds):
+            if shared:
+                x_chunk = inputs[:, lo:hi]
+            elif by_view:
+                x_chunk = None     # per-chain views below, no gather
+            else:
+                # One gather per (chunk, tile); groups below take views.
+                x_chunk = inputs[map_ids[start:stop], :, lo:hi]
+            for group in plan.groups:
+                lo_c = max(group.start, start)
+                hi_c = min(group.end, stop)
+                if lo_c >= hi_c:
+                    continue
+                local = slice(lo_c - start, hi_c - start)   # chunk-relative
+                member = slice(lo_c - group.start, hi_c - group.start)
+                tile = group.tiles[tile_index]
+
+                def product(w_stack):
+                    if shared:
+                        return np.matmul(x_chunk, w_stack[member])
+                    if not by_view:
+                        return np.matmul(x_chunk[local], w_stack[member])
+                    # One broadcast GEMM per same-map chain run: the 2D
+                    # activation view broadcasts across the run's weight
+                    # stack (per-slice 2D GEMMs, exactly the sequential
+                    # oracle's operands) -- no gathered activation copy.
+                    out = np.empty((hi_c - lo_c, batch, n_out))
+                    views = tile_views[tile_index]
+                    for run_lo, run_hi, map_index in group.map_runs:
+                        s = max(run_lo, member.start)
+                        e = min(run_hi, member.stop)
+                        if s < e:
+                            np.matmul(views[map_index], w_stack[s:e],
+                                      out=out[s - member.start:e - member.start])
+                    return out
+
+                acc: Optional[np.ndarray] = None
+                for level in tile.levels:
+                    segment = product(level.w_stack)
+                    if acc is not None:
+                        # In-place accumulate; 0 + segment is skipped at the
+                        # first level because quantisation maps the zero
+                        # signs to the same codes.
+                        np.add(acc, segment, out=segment)
+                    acc = kernel.force(segment, level, member, raw[local])
+                tails = product(tile.tail_stack)
+                tile_out = tails if acc is None else np.add(acc, tails,
+                                                            out=tails)
+                dest = col_out[local]
+                if tile_index == 0:
+                    # 0 + tile_out: collapse any -0.0 the (unquantised) tail
+                    # GEMM produced, exactly as the oracle's zero-initialised
+                    # accumulator does.
+                    np.add(tile_out, 0.0, out=dest)
+                else:
+                    np.add(dest, tile_out, out=dest)
+        output[plan.map_sel[start:stop], batch_idx,
+               plan.out_sel[start:stop]] = col_out

@@ -22,7 +22,6 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, Sequence
 
-import numpy as np
 
 from .scheduler import LayerWorkload, schedule_network
 

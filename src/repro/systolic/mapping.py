@@ -14,7 +14,7 @@ to zero out several weights per faulty PE (paper, Section IV).
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence, Tuple
+from typing import Iterable, Tuple
 
 import numpy as np
 

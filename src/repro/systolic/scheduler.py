@@ -10,7 +10,7 @@ cost of re-execution-based fault tolerance that the paper argues against.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence
 
 import numpy as np
 

@@ -1,6 +1,7 @@
 """Shared utilities: deterministic RNG management, logging, serialization."""
 
 from .rng import DEFAULT_SEED, derive_seed, get_rng, spawn_rngs
+from .hashing import loader_token, model_token, state_token
 from .logging import Timer, configure_logging, get_logger
 from .serialization import load_records, load_state_dict, save_records, save_state_dict
 
@@ -9,6 +10,9 @@ __all__ = [
     "derive_seed",
     "get_rng",
     "spawn_rngs",
+    "loader_token",
+    "model_token",
+    "state_token",
     "Timer",
     "configure_logging",
     "get_logger",

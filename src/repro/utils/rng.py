@@ -9,7 +9,7 @@ are reproducible bit-for-bit from a single seed.
 from __future__ import annotations
 
 import hashlib
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

@@ -1,0 +1,377 @@
+"""Fault-chain fast path: edge cases, bit-identity properties, plan cache.
+
+The uniform-tile chain kernel (:mod:`repro.systolic.chain_kernel`) must be
+``tobytes()``-identical to the untiled chunked reference
+(:meth:`BatchedSystolicArray._apply_chain_plan_reference`) and therefore to
+the sequential :meth:`SystolicArray.matmul` oracle, for every chain
+structure: empty tables, single-site chains, the all-chains-one-level
+degenerate case, ragged multi-level mixes, both gather strategies and the
+chunked path.  The per-process :class:`PlanCache` must change *when* a
+model is lowered, never the records.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.faults import StuckAtFault, random_fault_map
+from repro.snn.inference import PlanCache
+from repro.systolic import (
+    BatchedSystolicArray,
+    DEFAULT_ACCUMULATOR_FORMAT,
+    SystolicArray,
+    chain_kernel,
+)
+from repro.systolic import array as systolic_array
+from repro.systolic.chain_kernel import StuckAtKernel
+from repro.utils.rng import get_rng
+
+FMT = DEFAULT_ACCUMULATOR_FORMAT
+
+
+@pytest.fixture(autouse=True)
+def restore_chain_kernel_switches():
+    fastpath = chain_kernel.FASTPATH_ENABLED
+    threshold = chain_kernel.PER_CHAIN_GEMM_BATCH
+    yield
+    chain_kernel.FASTPATH_ENABLED = fastpath
+    chain_kernel.PER_CHAIN_GEMM_BATCH = threshold
+
+
+def run_both_paths(arrays, weight, inputs, bias=None):
+    """(fast, reference) results of one batched matmul."""
+
+    batched = BatchedSystolicArray(arrays)
+    chain_kernel.FASTPATH_ENABLED = True
+    fast = batched.matmul_batched(weight, inputs, bias=bias)
+    chain_kernel.FASTPATH_ENABLED = False
+    reference = batched.matmul_batched(weight, inputs, bias=bias)
+    return fast, reference
+
+
+# ----------------------------------------------------------------------
+# Edge cases
+# ----------------------------------------------------------------------
+class TestChainEdgeCases:
+    def test_empty_chain_table(self):
+        """Fault-free maps build no chain plans; output is the dense GEMM."""
+
+        rng = get_rng(0)
+        arrays = [SystolicArray(6, 6) for _ in range(3)]
+        batched = BatchedSystolicArray(arrays)
+        weight = rng.normal(size=(8, 10))
+        prepared = batched.prepare_weight(weight)
+        assert prepared.chain_plans == []
+        inputs = rng.normal(size=(3, 4, 10))
+        fast, reference = run_both_paths(arrays, weight, inputs)
+        assert fast.tobytes() == reference.tobytes()
+        assert fast.tobytes() == np.matmul(inputs, weight.T).tobytes()
+
+    def test_faults_outside_output_columns_build_no_chains(self):
+        """Faults in columns holding no outputs produce an empty table."""
+
+        array = SystolicArray(4, 8)
+        array.inject_fault(1, 5, StuckAtFault(3, "sa1"))  # out_features < 6
+        batched = BatchedSystolicArray([array])
+        prepared = batched.prepare_weight(np.ones((3, 4)))
+        assert prepared.chain_plans == []
+
+    def test_single_site_chains(self):
+        """One fault per column: every chain is one level plus a tail."""
+
+        rng = get_rng(1)
+        arrays = []
+        for seed in range(4):
+            fault_map = random_fault_map(5, 5, 3, bit_position=FMT.magnitude_msb,
+                                         stuck_type="sa1", seed=seed)
+            array = SystolicArray(5, 5)
+            array.load_fault_map(fault_map)
+            arrays.append(array)
+        weight = rng.normal(size=(10, 12))
+        inputs = rng.normal(size=(4, 3, 12))
+        fast, reference = run_both_paths(arrays, weight, inputs)
+        assert fast.tobytes() == reference.tobytes()
+        for f, array in enumerate(arrays):
+            assert np.array_equal(fast[f], array.matmul(weight, inputs[f]))
+
+    def test_all_chains_share_one_level_uniform_degenerate(self):
+        """Every chain with the same site count collapses into ONE group."""
+
+        arrays = []
+        for col in range(3):
+            array = SystolicArray(4, 4)
+            array.inject_fault(2, col, StuckAtFault(FMT.magnitude_msb, "sa1"))
+            arrays.append(array)
+        batched = BatchedSystolicArray(arrays)
+        weight = get_rng(2).normal(size=(4, 4))
+        prepared = batched.prepare_weight(weight)
+        (plan,) = prepared.chain_plans
+        assert len(plan.uniform.groups) == 1
+        (group,) = plan.uniform.groups
+        assert (group.start, group.end) == (0, 3)
+        assert [len(tile.levels) for tile in group.tiles] == [1]
+
+        inputs = get_rng(3).normal(size=(3, 2, 4))
+        fast, reference = run_both_paths(arrays, weight, inputs)
+        assert fast.tobytes() == reference.tobytes()
+
+    def test_mixed_site_counts_split_into_uniform_groups(self):
+        array = SystolicArray(6, 4)
+        array.inject_fault(0, 0, StuckAtFault(3, "sa1"))
+        array.inject_fault(0, 1, StuckAtFault(3, "sa1"))
+        array.inject_fault(4, 1, StuckAtFault(5, "sa0"))
+        batched = BatchedSystolicArray([array])
+        prepared = batched.prepare_weight(get_rng(4).normal(size=(4, 6)))
+        (plan,) = prepared.chain_plans
+        signatures = sorted(
+            tuple(len(tile.levels) for tile in group.tiles)
+            for group in plan.uniform.groups)
+        assert signatures == [(1,), (2,)]
+
+    def test_site_row_beyond_tile_rows_is_tail_only(self):
+        """A fault row >= in_features contributes no level, only the tail."""
+
+        array = SystolicArray(6, 3)
+        array.inject_fault(4, 0, StuckAtFault(FMT.magnitude_msb, "sa1"))
+        weight = get_rng(5).normal(size=(3, 3))      # in_features=3 < row 4
+        inputs = get_rng(6).normal(size=(1, 2, 3))
+        fast, reference = run_both_paths([array], weight, inputs)
+        assert fast.tobytes() == reference.tobytes()
+        assert np.array_equal(fast[0], array.matmul(weight, inputs[0]))
+
+    def test_chunked_fast_path_matches_unchunked(self, monkeypatch):
+        rng = get_rng(7)
+        arrays = []
+        for seed in range(5):
+            fault_map = random_fault_map(6, 6, 5, bit_position=None,
+                                         stuck_type=seed % 2, seed=seed)
+            array = SystolicArray(6, 6)
+            array.load_fault_map(fault_map)
+            arrays.append(array)
+        weight = rng.normal(size=(9, 14))
+        inputs = rng.normal(size=(5, 3, 14))
+        chain_kernel.FASTPATH_ENABLED = True
+        unchunked = BatchedSystolicArray(arrays).matmul_batched(weight, inputs)
+        monkeypatch.setattr(systolic_array, "_CHAIN_BLOCK_ELEMENTS", 1)
+        chunked = BatchedSystolicArray(arrays).matmul_batched(weight, inputs)
+        assert unchunked.tobytes() == chunked.tobytes()
+
+    def test_per_chain_view_strategy_matches_stacked(self, monkeypatch):
+        """Forcing the wide-batch strategy on tiny batches changes nothing."""
+
+        rng = get_rng(8)
+        arrays = []
+        for seed in range(4):
+            fault_map = random_fault_map(5, 7, 4, bit_position=None,
+                                         stuck_type="sa1", seed=seed)
+            array = SystolicArray(5, 7)
+            array.load_fault_map(fault_map)
+            arrays.append(array)
+        weight = rng.normal(size=(12, 11))
+        inputs = rng.normal(size=(4, 3, 11))
+        chain_kernel.FASTPATH_ENABLED = True
+        monkeypatch.setattr(chain_kernel, "PER_CHAIN_GEMM_BATCH", 10**9)
+        stacked = BatchedSystolicArray(arrays).matmul_batched(weight, inputs)
+        monkeypatch.setattr(chain_kernel, "PER_CHAIN_GEMM_BATCH", 1)
+        by_view = BatchedSystolicArray(arrays).matmul_batched(weight, inputs)
+        assert stacked.tobytes() == by_view.tobytes()
+
+
+# ----------------------------------------------------------------------
+# Fused stuck-at kernel
+# ----------------------------------------------------------------------
+class TestStuckAtKernel:
+    @given(
+        values=st.lists(st.floats(-400.0, 400.0, allow_nan=False), min_size=1,
+                        max_size=32),
+        bit=st.integers(0, FMT.total_bits - 1),
+        stuck=st.integers(0, 1),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_force_matches_fixed_point_reference(self, values, bit, stuck):
+        """The fused kernel equals FixedPointFormat.apply_stuck_at bit for bit."""
+
+        block = np.array(values)[None, :, None].copy()
+        expected = FMT.apply_stuck_at(block, bit, stuck)
+        kernel = StuckAtKernel(FMT)
+        bit_mask = np.left_shift(np.int64(1), np.array([bit]))[:, None, None]
+        level = chain_kernel.LevelBlock(
+            w_stack=np.zeros((1, 1, 1)), bit_mask=bit_mask,
+            inv_mask=np.bitwise_not(bit_mask), stuck_one=None,
+            all_sa1=stuck == 1, all_sa0=stuck == 0)
+        raw = np.empty(block.shape, dtype=np.int64)
+        forced = kernel.force(block, level, slice(0, 1), raw)
+        assert forced.tobytes() == expected.tobytes()
+
+    def test_mixed_polarity_level(self):
+        """A level mixing sa0/sa1 chains takes the where-select branch."""
+
+        values = np.array([[[5.5]], [[5.5]]])
+        kernel = StuckAtKernel(FMT)
+        bits = np.array([2, 2])
+        bit_mask = np.left_shift(np.int64(1), bits)[:, None, None]
+        stuck_one = np.array([True, False])[:, None, None]
+        level = chain_kernel.LevelBlock(
+            w_stack=np.zeros((2, 1, 1)), bit_mask=bit_mask,
+            inv_mask=np.bitwise_not(bit_mask), stuck_one=stuck_one,
+            all_sa1=False, all_sa0=False)
+        raw = np.empty(values.shape, dtype=np.int64)
+        forced = kernel.force(values.copy(), level, slice(0, 2), raw)
+        assert forced[0, 0, 0] == FMT.apply_stuck_at(np.array(5.5), 2, 1)
+        assert forced[1, 0, 0] == FMT.apply_stuck_at(np.array(5.5), 2, 0)
+
+
+# ----------------------------------------------------------------------
+# Hypothesis property: tiled output == untiled reference oracle
+# ----------------------------------------------------------------------
+@st.composite
+def chain_scenarios(draw):
+    rows = draw(st.integers(2, 8))
+    cols = draw(st.integers(2, 8))
+    out_features = draw(st.integers(1, 20))
+    in_features = draw(st.integers(1, 24))
+    batch = draw(st.integers(1, 4))
+    num_maps = draw(st.integers(1, 4))
+    shared = draw(st.booleans())
+    bypass = draw(st.booleans())
+    faults = draw(st.lists(st.integers(0, min(8, rows * cols)),
+                           min_size=num_maps, max_size=num_maps))
+    seed = draw(st.integers(0, 2**31 - 1))
+    return (rows, cols, out_features, in_features, batch, num_maps, shared,
+            bypass, faults, seed)
+
+
+class TestTiledVsUntiledProperty:
+    @given(scenario=chain_scenarios())
+    @settings(max_examples=40, deadline=None)
+    def test_tiled_output_tobytes_matches_untiled_reference(self, scenario):
+        (rows, cols, out_features, in_features, batch, num_maps, shared,
+         bypass, faults, seed) = scenario
+        rng = get_rng(seed)
+        arrays = []
+        for map_index in range(num_maps):
+            fault_map = random_fault_map(
+                rows, cols, faults[map_index], bit_position=None,
+                stuck_type=int(rng.integers(0, 2)),
+                seed=int(rng.integers(0, 2**31)))
+            array = SystolicArray(rows, cols)
+            array.load_fault_map(fault_map)
+            if bypass and map_index % 2:
+                array.bypass_faulty_pes()
+            arrays.append(array)
+        weight = rng.normal(size=(out_features, in_features)) * 2
+        shape = (batch, in_features) if shared else (num_maps, batch, in_features)
+        inputs = rng.normal(size=shape)
+        fast, reference = run_both_paths(arrays, weight, inputs)
+        assert fast.tobytes() == reference.tobytes()
+        # And both equal the sequential oracle per map.
+        for f, array in enumerate(arrays):
+            oracle = array.matmul(weight, inputs if shared else inputs[f])
+            assert np.array_equal(fast[f], oracle)
+
+
+# ----------------------------------------------------------------------
+# Plan cache
+# ----------------------------------------------------------------------
+class TestPlanCache:
+    def test_lowering_happens_once_per_content(self, trained_tiny_model):
+        cache = PlanCache()
+        first = cache.get_plan(trained_tiny_model)
+        second = cache.get_plan(trained_tiny_model)
+        assert first is second
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_token_shortcut_matches_hashing(self, trained_tiny_model):
+        cache = PlanCache()
+        token = cache.token_for(trained_tiny_model)
+        plan = cache.get_plan(trained_tiny_model, token=token)
+        assert cache.get_plan(trained_tiny_model) is plan
+
+    def test_weight_mutation_changes_token_and_misses(self, trained_tiny_model):
+        cache = PlanCache()
+        cache.get_plan(trained_tiny_model)
+        parameter = trained_tiny_model.parameters()[0]
+        original = parameter.data.copy()
+        try:
+            parameter.data += 1.0
+            cache.get_plan(trained_tiny_model)
+        finally:
+            parameter.data[...] = original
+        assert cache.misses == 2
+        assert len(cache) == 2
+
+    def test_eviction_bound(self, trained_tiny_model):
+        cache = PlanCache(max_entries=1)
+        cache.get_plan(trained_tiny_model)
+        parameter = trained_tiny_model.parameters()[0]
+        original = parameter.data.copy()
+        try:
+            parameter.data += 1.0
+            cache.get_plan(trained_tiny_model)
+        finally:
+            parameter.data[...] = original
+        assert len(cache) == 1
+
+    def test_invalid_max_entries_rejected(self):
+        with pytest.raises(ValueError):
+            PlanCache(max_entries=0)
+
+    def test_runner_records_identical_with_and_without_cache(
+            self, trained_tiny_model, tiny_mnist_loaders):
+        from repro.faults import CampaignPoint, CampaignRunner
+
+        _, test_loader = tiny_mnist_loaders
+        points = [CampaignPoint.for_trials(8, 8, count, trials=2, seed=31 + count)
+                  for count in (1, 3)]
+        cache = PlanCache()
+        with_cache = CampaignRunner(trained_tiny_model, test_loader,
+                                    plan_cache=cache).run(points)
+        without = CampaignRunner(trained_tiny_model, test_loader,
+                                 plan_cache=False).run(points)
+        assert with_cache == without
+        # The merged serial pass lowers exactly once; a later evaluation
+        # (the fault-free baseline) hits the same entry.
+        assert (cache.misses, cache.hits) == (1, 0)
+        CampaignRunner(trained_tiny_model, test_loader,
+                       plan_cache=cache).baseline_accuracy()
+        assert (cache.misses, cache.hits) == (1, 1)
+
+    def test_runner_defaults_to_process_cache(self, trained_tiny_model,
+                                              tiny_mnist_loaders):
+        from repro.faults import CampaignRunner
+        from repro.snn.inference import default_plan_cache
+
+        _, test_loader = tiny_mnist_loaders
+        runner = CampaignRunner(trained_tiny_model, test_loader)
+        assert runner.plan_cache is default_plan_cache()
+
+    def test_warm_plan_cache_lowers_before_fork(self, trained_tiny_model,
+                                                tiny_mnist_loaders):
+        from repro.faults import CampaignRunner
+
+        _, test_loader = tiny_mnist_loaders
+        cache = PlanCache()
+        runner = CampaignRunner(trained_tiny_model, test_loader,
+                                plan_cache=cache)
+        runner.warm_plan_cache()
+        assert (len(cache), cache.misses) == (1, 1)
+        runner.warm_plan_cache()
+        assert cache.misses == 1
+
+    def test_orchestrated_units_reuse_warmed_plan(self, trained_tiny_model,
+                                                  tiny_mnist_loaders, tmp_path):
+        """Chunked units hit the plan warmed before the pool starts."""
+
+        from repro.faults import CampaignPoint, CampaignRunner
+
+        _, test_loader = tiny_mnist_loaders
+        points = [CampaignPoint.for_trials(8, 8, 2, trials=4, seed=77)]
+        cache = PlanCache()
+        records = CampaignRunner(trained_tiny_model, test_loader,
+                                 plan_cache=cache, trial_chunk=2,
+                                 cache_dir=tmp_path).run(points)
+        assert cache.misses == 1          # warmed once, never re-lowered
+        assert cache.hits >= 2            # one hit per trial-chunk unit
+        plain = CampaignRunner(trained_tiny_model, test_loader,
+                               plan_cache=False).run(points)
+        assert records == plain
