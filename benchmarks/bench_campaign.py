@@ -6,6 +6,9 @@ reports:
 
 * per-engine wall-clock cost, the speedup over the sequential oracle and
   the fused engine's speedup over the batched autograd engine,
+* the fused engine's machine-relative ratios for the chain fast path vs
+  the untiled reference, prefix-level batching vs per-group application,
+  and 2 fork lanes vs 1 (the bit-safe intra-sweep parallelism knob),
 * that all engines produce **identical** records (same accuracies, same
   seeds -- the float64 bit-identity guarantee),
 * the on-disk cache: a warm re-run answers from JSON without simulating,
@@ -92,29 +95,33 @@ def run_sweep(model, loader, engine, cache_dir=None, dtype="float64", repeats=1)
 def run_sweep_interleaved(model, loader, configs, rounds=3):
     """Best-of-``rounds`` sweep cost per config, measured round-robin.
 
-    ``configs`` maps label -> (engine, chain_fastpath, dtype).  Interleaving
-    the configurations (instead of timing each one back to back) keeps a
-    load spike on a shared CI box from billing one configuration only.
+    ``configs`` maps label -> (engine, chain_fastpath, prefix_batch, dtype,
+    lane_threads).  Interleaving the configurations (instead of timing each
+    one back to back) keeps a load spike on a shared CI box from billing
+    one configuration only.
     """
 
     from repro.systolic import chain_kernel
 
     times = {label: float("inf") for label in configs}
     records = {}
-    saved = chain_kernel.FASTPATH_ENABLED
+    saved = (chain_kernel.FASTPATH_ENABLED, chain_kernel.PREFIX_BATCH_ENABLED)
     try:
         for _ in range(rounds):
-            for label, (engine, fastpath, dtype) in configs.items():
+            for label, (engine, fastpath, prefix, dtype,
+                        lane_threads) in configs.items():
                 chain_kernel.FASTPATH_ENABLED = fastpath
+                chain_kernel.PREFIX_BATCH_ENABLED = prefix
                 start = time.perf_counter()
                 records[label] = sweep_faulty_pe_count(
                     model, loader,
                     rows=CAMPAIGN_CONFIG.array_rows, cols=CAMPAIGN_CONFIG.array_cols,
                     counts=COUNTS, trials=TRIALS, seed=CAMPAIGN_CONFIG.seed,
-                    dataset="mnist", engine=engine, dtype=dtype)
+                    dataset="mnist", engine=engine, dtype=dtype,
+                    lane_threads=lane_threads)
                 times[label] = min(times[label], time.perf_counter() - start)
     finally:
-        chain_kernel.FASTPATH_ENABLED = saved
+        chain_kernel.FASTPATH_ENABLED, chain_kernel.PREFIX_BATCH_ENABLED = saved
     return records, times
 
 
@@ -125,19 +132,23 @@ def test_bench_campaign_engines(campaign_setup):
     run_sweep(model, loader, "fused")
 
     configs = {
-        "sequential": ("sequential", True, "float64"),
-        "batched": ("batched", True, "float64"),
-        "fused": ("fused", True, "float64"),
-        "fused-chainref": ("fused", False, "float64"),
-        "fused-f32": ("fused", True, "float32"),
+        "sequential": ("sequential", True, True, "float64", None),
+        "batched": ("batched", True, True, "float64", None),
+        "fused": ("fused", True, True, "float64", None),
+        "fused-chainref": ("fused", False, True, "float64", None),
+        "fused-noprefix": ("fused", True, False, "float64", None),
+        "fused-lane2": ("fused", True, True, "float64", 2),
+        "fused-f32": ("fused", True, True, "float32", None),
     }
     records, times = run_sweep_interleaved(model, loader, configs, rounds=5)
 
     fused_vs_batched = times["batched"] / times["fused"]
     fastpath_speedup = times["fused-chainref"] / times["fused"]
+    prefix_speedup = times["fused-noprefix"] / times["fused"]
+    lane_speedup = times["fused"] / times["fused-lane2"]
     rows = []
     for engine in ("sequential", "batched", "fused", "fused-chainref",
-                   "fused-f32"):
+                   "fused-noprefix", "fused-lane2", "fused-f32"):
         rows.append({
             "engine": engine, "points": len(COUNTS), "trials": TRIALS,
             "fault_maps": (len(COUNTS) - 1) * TRIALS,
@@ -147,12 +158,16 @@ def test_bench_campaign_engines(campaign_setup):
         })
     identical = (records["batched"] == records["sequential"]
                  and records["fused"] == records["sequential"]
-                 and records["fused-chainref"] == records["sequential"])
+                 and records["fused-chainref"] == records["sequential"]
+                 and records["fused-noprefix"] == records["sequential"]
+                 and records["fused-lane2"] == records["sequential"])
     table = format_table(rows, columns=["engine", "points", "trials", "fault_maps",
                                         "seconds", "speedup", "vs_batched"],
                          title="Campaign engines: Fig. 5b sweep cost")
     summary = (f"fused vs batched (this run): {fused_vs_batched:.2f}x; "
                f"chain fast path vs untiled reference: {fastpath_speedup:.2f}x; "
+               f"prefix batching vs per-group: {prefix_speedup:.2f}x; "
+               f"2 fork lanes vs 1: {lane_speedup:.2f}x; "
                f"fused vs PR 1 recorded batched ({PR1_BATCHED_SECONDS:.3f}s): "
                f"{PR1_BATCHED_SECONDS / times['fused']:.2f}x")
     print("\n" + table + "\n" + summary)
@@ -169,16 +184,20 @@ def test_bench_campaign_engines(campaign_setup):
         "engine": "meta",
         "identical_records": bool(identical),
         "chain_fastpath_speedup": fastpath_speedup,
+        "prefix_batch_speedup": prefix_speedup,
+        "lane_speedup": lane_speedup,
         "note": "identical_records pins float64 bit-identity across all "
-                "engines and both chain paths; chain_fastpath_speedup is "
-                "the cold Fig. 5b sweep cost of the untiled reference "
-                "chain path over the uniform-tile fast path (same run, "
-                "machine-relative)",
+                "engines, both chain paths, prefix batching on/off and "
+                "1 vs 2 fork lanes; the *_speedup entries are cold Fig. 5b "
+                "sweep cost ratios measured within this run "
+                "(machine-relative): untiled reference chain path over the "
+                "uniform-tile fast path, per-group application over "
+                "prefix-level batching, and one fork lane over two",
     }], RESULTS_DIR / "campaign_engine.json")
 
-    # The acceptance property: identical records across all three engines
-    # AND both chain-application paths (same accuracies, same seeds --
-    # float64 bit-identity).
+    # The acceptance property: identical records across all three engines,
+    # both chain-application paths, prefix batching on/off and 1 vs 2 fork
+    # lanes (same accuracies, same seeds -- float64 bit-identity).
     assert identical, "engine records diverged"
     # The fault-free point reports the software baseline.
     assert records["fused"][0]["num_faulty_pes"] == 0
@@ -190,6 +209,13 @@ def test_bench_campaign_engines(campaign_setup):
         f"fused only {fused_vs_batched:.2f}x over batched"
     assert fastpath_speedup >= 1.1, \
         f"chain fast path only {fastpath_speedup:.2f}x over the reference path"
+    # Prefix batching must never cost wall-clock; lane threads may not win
+    # on single-core boxes but must stay within thread-overhead noise.  The
+    # recorded ratios are gated machine-relative by check_regression.py.
+    assert prefix_speedup >= 0.9, \
+        f"prefix batching slowed the sweep: {prefix_speedup:.2f}x"
+    assert lane_speedup >= 0.5, \
+        f"2 fork lanes cost {1 / lane_speedup:.2f}x over serial lanes"
 
 
 def test_bench_campaign_cache_hit(campaign_setup, tmp_path):
@@ -252,6 +278,41 @@ def test_bench_campaign_orchestrator(campaign_setup, tmp_path):
     assert canonical(resumed) == canonical(serial)
     # A resumed sweep answers purely from the unit cache.
     assert resume_time < 0.5 * pool_time
+
+
+def test_bench_campaign_lane_scaling(campaign_setup):
+    """Lane-thread scaling: byte-identical records at 1/2/4 fork lanes.
+
+    The identity assertion is the acceptance property; wall-clock per lane
+    count is reported for multi-core boxes (numpy releases the GIL inside
+    the divergent-lane GEMMs) but only sanity-bounded, since a single-core
+    CI runner cannot win from threading.
+    """
+
+    model, loader = campaign_setup
+    lane_counts = (1, 2, 4)
+    times = {threads: float("inf") for threads in lane_counts}
+    records = {}
+    for _ in range(3):
+        for threads in lane_counts:
+            start = time.perf_counter()
+            records[threads] = sweep_faulty_pe_count(
+                model, loader,
+                rows=CAMPAIGN_CONFIG.array_rows, cols=CAMPAIGN_CONFIG.array_cols,
+                counts=COUNTS, trials=TRIALS, seed=CAMPAIGN_CONFIG.seed,
+                dataset="mnist", engine="fused", lane_threads=threads)
+            times[threads] = min(times[threads], time.perf_counter() - start)
+
+    report = ", ".join(f"{threads} lane(s) {times[threads]:.2f}s"
+                       for threads in lane_counts)
+    print(f"\nlane scaling (cold fused sweep): {report}")
+    for threads in lane_counts[1:]:
+        assert records[threads] == records[1], \
+            f"records diverged at lane_threads={threads}"
+        # Identity is the guarantee; overhead must stay bounded even where
+        # a single core means threads cannot pay for themselves.
+        assert times[1] / times[threads] >= 0.5, \
+            f"{threads} lanes cost {times[threads] / times[1]:.2f}x over serial"
 
 
 def test_bench_campaign_scaling_with_trials(campaign_setup):

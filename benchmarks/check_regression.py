@@ -14,10 +14,13 @@ Rules (the documented gate policy):
   comparable between the recording box and a CI runner, but ratios
   measured *within one run* are: the ``speedup`` column (cost relative to
   the same run's sequential oracle) for the batched and fused engines,
-  and ``chain_fastpath_speedup`` (untiled reference chain path over the
-  uniform-tile fast path).  Each fresh ratio must be at least
-  ``(1 - tolerance)`` times the recorded one; the default tolerance is
-  30%, sized for noisy shared CI boxes (single-run ratios can swing
+  and the ``meta`` ratios ``chain_fastpath_speedup`` (untiled reference
+  chain path over the uniform-tile fast path), ``prefix_batch_speedup``
+  (per-group chain application over prefix-level batching) and
+  ``lane_speedup`` (one fork lane over two) -- each gated only when both
+  the fresh and the recorded run report it.  Each fresh ratio must be at
+  least ``(1 - tolerance)`` times the recorded one; the default tolerance
+  is 30%, sized for noisy shared CI boxes (single-run ratios can swing
   roughly 10-20%; a real fast-path regression costs 2x+).
 
 Exit status: 0 when the gate passes, 1 on any violation (so the CI step
@@ -107,12 +110,14 @@ def main(argv=None) -> int:
         gate(f"{engine} speedup", fresh[engine]["speedup"], baseline[engine]["speedup"])
 
     recorded_meta = baseline.get("meta", {})
-    if meta and "chain_fastpath_speedup" in meta and "chain_fastpath_speedup" in recorded_meta:
-        gate(
-            "chain fast path",
-            meta["chain_fastpath_speedup"],
-            recorded_meta["chain_fastpath_speedup"],
-        )
+    gated_ratios = (
+        ("chain_fastpath_speedup", "chain fast path"),
+        ("prefix_batch_speedup", "prefix batching"),
+        ("lane_speedup", "lane threads"),
+    )
+    for key, label in gated_ratios:
+        if meta and key in meta and key in recorded_meta:
+            gate(label, meta[key], recorded_meta[key])
 
     if failures:
         print("perf gate FAILED:", file=sys.stderr)

@@ -129,6 +129,12 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workers", type=int, default=1,
                         help="worker processes pulling sweep units from the "
                              "orchestrator's work-stealing queue (1 = serial)")
+    parser.add_argument("--lane-threads", type=int, default=None, metavar="N",
+                        help="fused-engine fork-lane threads per evaluation "
+                             "(default: $REPRO_LANE_THREADS or 1; inside a "
+                             "--workers pool an unset value stays 1 so the "
+                             "pools compose).  Records are byte-identical "
+                             "for every value")
     parser.add_argument("--cache-dir", default=None,
                         help="directory for on-disk result caching (doubles "
                              "as the shard coordination layer)")
@@ -221,6 +227,7 @@ def _engine_kwargs_for(runner, args: argparse.Namespace) -> dict:
     options = {"engine": args.engine, "workers": args.workers,
                "cache_dir": _resolve_cache_dir(args), "dtype": args.dtype,
                "shard": args.shard, "trial_chunk": args.trial_chunk,
+               "lane_threads": args.lane_threads,
                "plan_cache": not args.no_plan_cache}
     if args.workers > 1 or args.shard is not None:
         options["progress"] = _print_progress
@@ -283,6 +290,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     engine_options = dict(engine=args.engine, workers=args.workers,
                           cache_dir=cache_dir, dtype=args.dtype,
                           shard=args.shard, trial_chunk=args.trial_chunk,
+                          lane_threads=args.lane_threads,
                           plan_cache=not args.no_plan_cache)
     if args.workers > 1 or args.shard is not None:
         engine_options["progress"] = _print_progress

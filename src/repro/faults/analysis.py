@@ -61,11 +61,12 @@ def baseline_accuracy(model, loader) -> float:
 
 def _make_runner(model, loader, fmt: FixedPointFormat, engine: str,
                  workers: int, cache_dir, dtype: str, shard, trial_chunk,
-                 progress, plan_cache=True) -> CampaignRunner:
+                 progress, lane_threads=None, plan_cache=True) -> CampaignRunner:
     return CampaignRunner(model, loader, fmt=fmt, engine=engine,
                           workers=workers, cache_dir=cache_dir, dtype=dtype,
                           shard=shard, trial_chunk=trial_chunk,
-                          progress=progress, plan_cache=plan_cache)
+                          progress=progress, lane_threads=lane_threads,
+                          plan_cache=plan_cache)
 
 
 def sweep_bit_locations(model, loader, *,
@@ -84,6 +85,7 @@ def sweep_bit_locations(model, loader, *,
                         shard=None,
                         trial_chunk=None,
                         progress=None,
+                        lane_threads=None,
                         plan_cache=True) -> List[dict]:
     """Accuracy versus fault bit location and polarity (Fig. 5a).
 
@@ -93,7 +95,8 @@ def sweep_bit_locations(model, loader, *,
     """
 
     runner = _make_runner(model, loader, fmt, engine, workers, cache_dir,
-                          dtype, shard, trial_chunk, progress, plan_cache)
+                          dtype, shard, trial_chunk, progress, lane_threads,
+                          plan_cache)
     points: List[CampaignPoint] = []
     for stuck in stuck_types:
         stuck = StuckAtType.from_value(stuck)
@@ -133,6 +136,7 @@ def sweep_faulty_pe_count(model, loader, *,
                           shard=None,
                           trial_chunk=None,
                           progress=None,
+                          lane_threads=None,
                           plan_cache=True) -> List[dict]:
     """Accuracy versus number of faulty PEs (Fig. 5b).
 
@@ -144,7 +148,8 @@ def sweep_faulty_pe_count(model, loader, *,
     if bit_position is None:
         bit_position = fmt.magnitude_msb
     runner = _make_runner(model, loader, fmt, engine, workers, cache_dir,
-                          dtype, shard, trial_chunk, progress, plan_cache)
+                          dtype, shard, trial_chunk, progress, lane_threads,
+                          plan_cache)
     points = [
         CampaignPoint.for_trials(
             rows, cols, count, trials,
@@ -194,6 +199,7 @@ def sweep_array_sizes(model, loader, *,
                       shard=None,
                       trial_chunk=None,
                       progress=None,
+                      lane_threads=None,
                       plan_cache=True) -> List[dict]:
     """Accuracy versus systolic array size at a fixed number of faulty PEs (Fig. 5c).
 
@@ -207,7 +213,8 @@ def sweep_array_sizes(model, loader, *,
         if num_faulty > size * size:
             raise ValueError(f"cannot place {num_faulty} faults in a {size}x{size} array")
     runner = _make_runner(model, loader, fmt, engine, workers, cache_dir,
-                          dtype, shard, trial_chunk, progress, plan_cache)
+                          dtype, shard, trial_chunk, progress, lane_threads,
+                          plan_cache)
     points = [
         CampaignPoint.for_trials(
             size, size, num_faulty, trials,

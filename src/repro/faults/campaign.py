@@ -278,6 +278,16 @@ class CampaignRunner:
     progress:
         Optional callable receiving the orchestrator's structured progress
         events (per-unit timing, retries, ETA); parent process only.
+    lane_threads:
+        Fork-lane thread count of the fused engine: the per-step fork work
+        of a pass's fault maps is split into that many thread-parallel
+        lanes (bit-identical for every value, so it never enters cache
+        keys).  ``None`` (default) resolves ``REPRO_LANE_THREADS`` -- but
+        inside an orchestrated pool (``workers > 1``) an unset knob
+        defaults to one lane per worker, so the fork pool and the thread
+        pool compose without oversubscribing the machine.  An explicit
+        value is honoured everywhere.  Values > 1 require the fused
+        engine.
     plan_cache:
         Per-process cache of the lowered inference plan, keyed by the
         model token.  ``True`` (default) uses the process-wide
@@ -302,6 +312,7 @@ class CampaignRunner:
                  shard=None,
                  trial_chunk: Optional[int] = None,
                  progress: Optional[Callable[[dict], None]] = None,
+                 lane_threads: Optional[int] = None,
                  plan_cache=True) -> None:
         if engine not in ENGINES:
             raise ValueError(f"unknown engine '{engine}'; options: {ENGINES}")
@@ -309,6 +320,12 @@ class CampaignRunner:
             raise ValueError(f"unknown dtype '{dtype}'; options: {DTYPES}")
         if dtype != "float64" and engine != "fused":
             raise ValueError("dtype='float32' requires the fused engine")
+        if lane_threads is not None:
+            lane_threads = int(lane_threads)
+            if lane_threads < 1:
+                raise ValueError("lane_threads must be at least 1")
+            if lane_threads > 1 and engine != "fused":
+                raise ValueError("lane_threads > 1 requires the fused engine")
         self.model = model
         self.loader = loader
         self.fmt = fmt
@@ -325,6 +342,13 @@ class CampaignRunner:
         self.shard = shard
         self.trial_chunk = None if trial_chunk is None else int(trial_chunk)
         self.progress = progress
+        self.lane_threads = lane_threads
+        # Fork-pool composition: an *unset* knob must not resolve
+        # REPRO_LANE_THREADS inside a pool whose workers already own the
+        # cores -- forked workers then run one lane each.  Explicit values
+        # pass through (workers x lane_threads is the user's call).
+        self._effective_lane_threads = (
+            1 if lane_threads is None and self.workers > 1 else lane_threads)
         if plan_cache is True:
             from ..snn.inference import default_plan_cache
 
@@ -404,7 +428,8 @@ class CampaignRunner:
                 bypass=self.bypass, fmt=self.fmt,
                 engine="fused" if self.engine == "fused" else "autograd",
                 dtype=self.dtype, plan_cache=self.plan_cache,
-                plan_token=self._model_token)
+                plan_token=self._model_token,
+                lane_threads=self._effective_lane_threads)
         else:
             accuracies = [
                 evaluate_with_faults(self.model, self.loader, fault_map=fault_map,
@@ -443,7 +468,8 @@ class CampaignRunner:
                     bypass=self.bypass, fmt=self.fmt,
                     engine="fused" if self.engine == "fused" else "autograd",
                     dtype=self.dtype, plan_cache=self.plan_cache,
-                    plan_token=self._model_token)
+                    plan_token=self._model_token,
+                    lane_threads=self._effective_lane_threads)
                 offset = 0
                 for index, maps in chunk:
                     results[index] = self._record_for(

@@ -23,17 +23,25 @@ Coordinate = Tuple[int, int]
 
 @dataclasses.dataclass
 class FaultMap:
-    """Mapping of faulty PE coordinates to stuck-at faults for one fabricated chip."""
+    """Mapping of faulty PE coordinates to stuck-at faults for one fabricated chip.
+
+    ``fmt`` optionally pins the accumulator format the map targets; when set,
+    every fault's ``bit_position`` is validated against ``fmt.total_bits`` at
+    construction and on :meth:`add`, instead of failing deep inside the
+    simulator on first application.
+    """
 
     rows: int
     cols: int
     faults: Dict[Coordinate, StuckAtFault] = dataclasses.field(default_factory=dict)
+    fmt: Optional[FixedPointFormat] = None
 
     def __post_init__(self) -> None:
         if self.rows <= 0 or self.cols <= 0:
             raise ValueError("array dimensions must be positive")
-        for coord in self.faults:
+        for coord, fault in self.faults.items():
             self._validate(coord)
+            self._validate_fault(fault)
 
     # ------------------------------------------------------------------
     # Dict-like interface
@@ -43,8 +51,15 @@ class FaultMap:
         if not (0 <= row < self.rows and 0 <= col < self.cols):
             raise ValueError(f"coordinate {coord} outside {self.rows}x{self.cols} array")
 
+    def _validate_fault(self, fault: StuckAtFault) -> None:
+        if self.fmt is not None and fault.bit_position >= self.fmt.total_bits:
+            raise ValueError(
+                f"bit {fault.bit_position} outside the "
+                f"{self.fmt.total_bits}-bit accumulator format")
+
     def add(self, row: int, col: int, fault: StuckAtFault) -> None:
         self._validate((row, col))
+        self._validate_fault(fault)
         self.faults[(row, col)] = fault
 
     def items(self) -> Iterator[Tuple[Coordinate, StuckAtFault]]:
@@ -86,7 +101,8 @@ class FaultMap:
             raise ValueError("cannot merge fault maps of different array sizes")
         merged = dict(self.faults)
         merged.update(other.faults)
-        return FaultMap(self.rows, self.cols, merged)
+        return FaultMap(self.rows, self.cols, merged,
+                        fmt=self.fmt if self.fmt is not None else other.fmt)
 
 
 # ----------------------------------------------------------------------
@@ -110,18 +126,22 @@ def random_fault_map(rows: int, cols: int, num_faulty: int,
     When ``bit_position`` is ``None`` the afflicted bit is drawn uniformly
     from the ``high_order_bits`` most significant *data* bits below the sign
     bit (the paper's worst-case analysis injects faults in the higher-order
-    bits of the accumulator output).
+    bits of the accumulator output).  The sampling window is clamped at bit
+    0: asking for more high-order bits than the format has data bits draws
+    from all of them rather than from a negative bit range.
     """
 
     if num_faulty < 0:
         raise ValueError("num_faulty must be non-negative")
+    if high_order_bits < 1:
+        raise ValueError("high_order_bits must be at least 1")
     rng = get_rng(seed)
     stuck = StuckAtType.from_value(stuck_type)
-    fault_map = FaultMap(rows, cols)
+    low = max(0, fmt.magnitude_msb - high_order_bits + 1)
+    fault_map = FaultMap(rows, cols, fmt=fmt)
     for row, col in _sample_coordinates(rows, cols, num_faulty, rng):
         if bit_position is None:
-            bit = int(rng.integers(fmt.magnitude_msb - high_order_bits + 1,
-                                   fmt.magnitude_msb + 1))
+            bit = int(rng.integers(low, fmt.magnitude_msb + 1))
         else:
             bit = bit_position
         fault_map.add(row, col, StuckAtFault(bit_position=bit, stuck_type=stuck))

@@ -62,9 +62,18 @@ class StuckAtFault:
     bit_position: int
     stuck_type: StuckAtType = StuckAtType.STUCK_AT_1
 
+    #: Hard ceiling on representable bit positions: the vectorised chain
+    #: kernel builds its forcing masks as ``int64`` words, so a fault beyond
+    #: bit 63 could never be applied by any accumulator format we simulate.
+    MAX_BIT_POSITION = 63
+
     def __post_init__(self) -> None:
         if self.bit_position < 0:
             raise ValueError("bit_position must be non-negative")
+        if self.bit_position > self.MAX_BIT_POSITION:
+            raise ValueError(
+                f"bit_position {self.bit_position} exceeds the "
+                f"{self.MAX_BIT_POSITION + 1}-bit simulation word")
         object.__setattr__(self, "stuck_type", StuckAtType.from_value(self.stuck_type))
 
     @property

@@ -48,11 +48,14 @@ from .fault_map import FaultMap
 EVAL_ENGINES = ("fused", "autograd")
 
 
-def _check_eval_engine(engine: str, dtype: str) -> None:
+def _check_eval_engine(engine: str, dtype: str,
+                       lane_threads: Optional[int] = None) -> None:
     if engine not in EVAL_ENGINES:
         raise ValueError(f"unknown engine '{engine}'; options: {EVAL_ENGINES}")
     if engine != "fused" and dtype != "float64":
         raise ValueError("dtype overrides require the fused engine")
+    if engine != "fused" and lane_threads is not None and int(lane_threads) > 1:
+        raise ValueError("lane_threads > 1 requires the fused engine")
 
 
 class FaultInjector(contextlib.AbstractContextManager):
@@ -215,7 +218,8 @@ def evaluate_with_faults(model: SpikingClassifier, loader,
                          engine: str = "fused",
                          dtype: str = "float64",
                          plan_cache=None,
-                         plan_token: Optional[str] = None) -> float:
+                         plan_token: Optional[str] = None,
+                         lane_threads: Optional[int] = None) -> float:
     """Measure the classification accuracy of ``model`` under fault injection.
 
     Parameters
@@ -247,6 +251,10 @@ def evaluate_with_faults(model: SpikingClassifier, loader,
     plan_token:
         Optional precomputed model token for the cache lookup, skipping
         the per-call state hashing (ignored without ``plan_cache``).
+    lane_threads:
+        Fork-lane thread count of the fused engine (``None`` resolves
+        ``REPRO_LANE_THREADS``, default 1).  Results are bit-identical
+        for every value; requires ``engine="fused"`` when > 1.
 
     Returns
     -------
@@ -254,7 +262,7 @@ def evaluate_with_faults(model: SpikingClassifier, loader,
         Accuracy in ``[0, 1]``.
     """
 
-    _check_eval_engine(engine, dtype)
+    _check_eval_engine(engine, dtype, lane_threads)
     if array is None:
         if fault_map is None:
             raise ValueError("either fault_map or array must be provided")
@@ -263,9 +271,11 @@ def evaluate_with_faults(model: SpikingClassifier, loader,
     if engine == "fused":
         from ..snn.inference import FusedFaultEngine
 
-        return FusedFaultEngine(model, [array], dtype=dtype,
-                                plan_cache=plan_cache,
-                                plan_token=plan_token).evaluate(loader)[0]
+        with FusedFaultEngine(model, [array], dtype=dtype,
+                              plan_cache=plan_cache,
+                              plan_token=plan_token,
+                              lane_threads=lane_threads) as fused:
+            return fused.evaluate(loader)[0]
 
     was_training = model.training
     model.eval()
@@ -291,7 +301,9 @@ def evaluate_with_faults_batched(model: SpikingClassifier, loader,
                                  engine: str = "fused",
                                  dtype: str = "float64",
                                  plan_cache=None,
-                                 plan_token: Optional[str] = None) -> List[float]:
+                                 plan_token: Optional[str] = None,
+                                 lane_threads: Optional[int] = None
+                                 ) -> List[float]:
     """Measure per-fault-map accuracies of ``model`` in one multi-map pass.
 
     The whole sweep point -- all ``F`` fault maps -- costs roughly one
@@ -325,6 +337,12 @@ def evaluate_with_faults_batched(model: SpikingClassifier, loader,
     plan_token:
         Optional precomputed model token for the cache lookup, skipping
         the per-call state hashing (ignored without ``plan_cache``).
+    lane_threads:
+        Fork-lane thread count of the fused engine (``None`` resolves
+        ``REPRO_LANE_THREADS``, default 1): the per-step fork work of the
+        maps is split into that many thread-parallel lanes.  Results are
+        bit-identical for every value; requires ``engine="fused"`` when
+        > 1.
 
     Returns
     -------
@@ -336,7 +354,7 @@ def evaluate_with_faults_batched(model: SpikingClassifier, loader,
         machinery relies on.
     """
 
-    _check_eval_engine(engine, dtype)
+    _check_eval_engine(engine, dtype, lane_threads)
     if engine == "fused":
         from ..snn.inference import FusedFaultEngine
 
@@ -347,9 +365,11 @@ def evaluate_with_faults_batched(model: SpikingClassifier, loader,
                 raise ValueError("either fault_maps or array must be provided")
             arrays = [build_faulty_array(fault_map, fmt=fmt, bypass=bypass)
                       for fault_map in fault_maps]
-        return FusedFaultEngine(model, arrays, dtype=dtype,
-                                plan_cache=plan_cache,
-                                plan_token=plan_token).evaluate(loader)
+        with FusedFaultEngine(model, arrays, dtype=dtype,
+                              plan_cache=plan_cache,
+                              plan_token=plan_token,
+                              lane_threads=lane_threads) as fused:
+            return fused.evaluate(loader)
 
     if array is None:
         if not fault_maps:

@@ -17,7 +17,7 @@ See the README's "Fused inference engine" section for the architecture and
 the bit-identity guarantees.
 """
 
-from .engine import FusedFaultEngine, FusedInferenceEngine
+from .engine import FusedFaultEngine, FusedInferenceEngine, resolve_lane_threads
 from .plan_cache import PlanCache, default_plan_cache
 from .plan import (
     AffineSpec,
@@ -45,4 +45,5 @@ __all__ = [
     "PoolSpec",
     "default_plan_cache",
     "lower_plan",
+    "resolve_lane_threads",
 ]

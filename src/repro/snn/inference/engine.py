@@ -26,11 +26,30 @@ Both engines additionally cache the *static prefix* (the stateless ops
 before the first spiking layer) per batch: for static inputs those
 activations are identical at every time step, so e.g. the spike-encoder
 convolution runs once instead of ``T`` times.
+
+**Lane parallelism.**  :class:`FusedFaultEngine` can split the forked maps
+into ``lane_threads`` contiguous *lanes* of the fork order and execute the
+per-step fork work of the lanes on a thread pool (numpy releases the GIL
+inside its GEMMs, so lanes genuinely overlap).  This is bit-safe where
+internal re-batching is not: a stacked ``(F, batch, k) @ (k, n)`` matmul
+evaluates each leading slice as an independent 2D GEMM, every non-affine
+kernel is elementwise over the leading axes, and fault chains scatter to
+disjoint (map, column) slices -- so partitioning the fault-map axis into
+lanes can never change any map's bits, whereas folding maps into the BLAS
+row dimension would.  Each lane owns its kernels (and therefore its
+preallocated neuron-state/scratch buffers -- no sharing, no false sharing)
+and accumulates into its own rate buffer; the final reduction writes each
+lane's rates into the map slots preassigned at construction, so thread
+scheduling cannot reorder results.  ``lane_threads`` defaults to the
+``REPRO_LANE_THREADS`` environment variable (falling back to 1 -- the
+single-lane structure is exactly the serial engine).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -40,7 +59,25 @@ from .faulty_gemm import FaultyAffineRunner
 from .kernels import NeuronKernel, make_kernel
 from .plan import SUPPORTED_DTYPES, AffineSpec, InferencePlan, lower_plan
 
-__all__ = ["FusedInferenceEngine", "FusedFaultEngine"]
+__all__ = ["FusedInferenceEngine", "FusedFaultEngine", "resolve_lane_threads"]
+
+
+def resolve_lane_threads(value: Optional[int] = None) -> int:
+    """Resolve a lane-thread count, defaulting to ``REPRO_LANE_THREADS``.
+
+    ``None`` reads the environment variable (default 1).  The result is
+    always at least 1; a non-integer or non-positive request raises.
+    """
+
+    if value is None:
+        value = os.environ.get("REPRO_LANE_THREADS", "1")
+    try:
+        threads = int(value)
+    except (TypeError, ValueError):
+        raise ValueError(f"lane_threads must be an integer; got {value!r}") from None
+    if threads < 1:
+        raise ValueError(f"lane_threads must be at least 1; got {threads}")
+    return threads
 
 
 def _check_dtype(dtype) -> np.dtype:
@@ -149,17 +186,33 @@ class FusedInferenceEngine:
 
 
 class _AffineExec:
-    """Precomputed per-affine-layer execution state of the fault engine."""
+    """Precomputed per-affine-layer execution state of one fork lane."""
 
-    __slots__ = ("spec", "runner", "num_prev", "num_active", "clean_out_needed")
+    __slots__ = ("spec", "runner", "num_prev", "num_active")
 
-    def __init__(self, spec, runner, num_prev, num_active,
-                 clean_out_needed) -> None:
+    def __init__(self, spec, runner, num_prev, num_active) -> None:
         self.spec = spec
         self.runner = runner
         self.num_prev = num_prev
         self.num_active = num_active
-        self.clean_out_needed = clean_out_needed
+
+
+class _Lane:
+    """One contiguous slice of the fork order, executed independently.
+
+    A lane owns its affine runners (built on subset arrays holding only
+    its maps), its fork-lane kernels (and therefore its preallocated
+    neuron-state buffers -- per-lane scratch, nothing shared between
+    threads) and the ``fork_order`` positions its rates are written to.
+    """
+
+    __slots__ = ("maps", "start", "layers", "kernels")
+
+    def __init__(self, maps, start, layers, kernels) -> None:
+        self.maps = maps          # global map indices, fork order
+        self.start = start        # first op index with a fork in this lane
+        self.layers = layers      # per affine ordinal: Optional[_AffineExec]
+        self.kernels = kernels    # per op index: fork kernel or None
 
 
 class FusedFaultEngine:
@@ -183,11 +236,19 @@ class FusedFaultEngine:
         :class:`FusedInferenceEngine`.
     plan_token:
         Optional precomputed model token for the cache lookup.
+    lane_threads:
+        Fork-lane thread count; ``None`` (default) resolves
+        ``REPRO_LANE_THREADS`` (falling back to 1).  With ``n > 1`` the
+        forked maps are split into ``min(n, forked)`` contiguous lanes of
+        the fork order and each time step's lane work runs on a thread
+        pool.  Results are bit-identical for every thread count (see the
+        module docstring); 1 keeps the engine single-threaded.
     """
 
     def __init__(self, model, arrays: Sequence[SystolicArray],
                  dtype: str = "float64", plan_cache=None,
-                 plan_token: Optional[str] = None) -> None:
+                 plan_token: Optional[str] = None,
+                 lane_threads: Optional[int] = None) -> None:
         arrays = list(arrays)
         if not arrays:
             raise ValueError("FusedFaultEngine needs at least one array")
@@ -196,7 +257,9 @@ class FusedFaultEngine:
             if plan_cache is not None else lower_plan(model))
         self.dtype = _check_dtype(dtype)
         self.num_maps = len(arrays)
+        self.lane_threads = resolve_lane_threads(lane_threads)
         affine_specs = self.plan.affine_specs
+        ops = self.plan.ops
 
         # First affine ordinal whose GEMM each map's faults corrupt.  Each
         # map is probed through a single-map BatchedSystolicArray so the
@@ -210,14 +273,35 @@ class FusedFaultEngine:
             (f for f in range(self.num_maps) if self._divergence[f] is not None),
             key=lambda f: (self._divergence[f], f))
 
-        self._layers: List[_AffineExec] = []
+        # Clean-lane bookkeeping: which affine ordinals still need the clean
+        # output afterwards, and at which op positions the clean input must
+        # be stashed because some map forks exactly there.
+        self._clean_out_needed: List[bool] = [
+            any(d is None or d > spec.index for d in self._divergence)
+            for spec in affine_specs]
+        fork_ordinals = {d for d in self._divergence if d is not None}
+        op_of_affine: Dict[int, int] = {
+            op.index: i for i, op in enumerate(ops) if isinstance(op, AffineSpec)}
+        self._stash_ops = {op_of_affine[k] for k in fork_ordinals}
+
+        # Contiguous lane partition of the fork order.  One lane reproduces
+        # the serial engine exactly; more lanes split the per-step fork work
+        # into independent threads (per-slice GEMMs, elementwise kernels and
+        # disjoint chain scatters make any partition bit-identical).
+        n_lanes = min(self.lane_threads, len(self.fork_order))
+        bounds = np.linspace(0, len(self.fork_order), n_lanes + 1).astype(int)
         subset_cache = {}
-        for spec in affine_specs:
-            k = spec.index
-            active = [f for f in self.fork_order if self._divergence[f] <= k]
-            prev = sum(1 for f in self.fork_order if self._divergence[f] < k)
-            runner = None
-            if active:
+        self._lanes: List[_Lane] = []
+        for lane_index in range(n_lanes):
+            maps = self.fork_order[bounds[lane_index]:bounds[lane_index + 1]]
+            layers: List[Optional[_AffineExec]] = []
+            for spec in affine_specs:
+                k = spec.index
+                active = [f for f in maps if self._divergence[f] <= k]
+                if not active:
+                    layers.append(None)
+                    continue
+                prev = sum(1 for f in maps if self._divergence[f] < k)
                 key = tuple(active)
                 subset = subset_cache.get(key)
                 if subset is None:
@@ -226,19 +310,64 @@ class FusedFaultEngine:
                 runner = FaultyAffineRunner(subset,
                                             subset.prepare_weight(spec.weight),
                                             spec)
-            clean_out_needed = any(d is None or d > k for d in self._divergence)
-            self._layers.append(_AffineExec(spec, runner, prev,
-                                            len(active), clean_out_needed))
+                layers.append(_AffineExec(spec, runner, prev, len(active)))
+            start = op_of_affine[min(self._divergence[f] for f in maps)]
+            # Fork-lane activations keep an explicit leading fault-map axis
+            # ((F_lane, batch, ...)); elementwise arithmetic is unchanged but
+            # the batched conv outputs never need a (costly) re-fold copy.
+            # Each lane gets its own kernels, so neuron state and scratch
+            # buffers are lane-private -- threads never share a buffer.
+            kernels = [None if isinstance(op, AffineSpec) or i < start
+                       else make_kernel(op, self.dtype, batch_ndim=2)
+                       for i, op in enumerate(ops)]
+            self._lanes.append(_Lane(maps, start, layers, kernels))
 
         self._clean = [make_kernel(op, self.dtype, affine_mode="array")
-                       for op in self.plan.ops]
-        # Fork-lane activations keep an explicit leading fault-map axis
-        # ((F_active, batch, ...)); elementwise arithmetic is unchanged but
-        # the batched conv outputs never need a (costly) re-fold copy.
-        self._fork = [None if isinstance(op, AffineSpec)
-                      else make_kernel(op, self.dtype, batch_ndim=2)
-                      for op in self.plan.ops]
+                       for op in ops]
         self._prefix = self.plan.static_prefix
+        # Lane pool: lane 0 always runs on the calling thread, so the pool
+        # only needs n_lanes - 1 workers.  Created lazily on the first
+        # multi-lane run; close() (or garbage collection) reaps it.
+        self._executor: Optional[ThreadPoolExecutor] = None
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the lane thread pool (idempotent; pool is rebuilt on use)."""
+
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "FusedFaultEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        executor = getattr(self, "_executor", None)
+        if executor is not None:
+            executor.shutdown(wait=False)
+
+    def _map_lanes(self, fn: Callable[[int], object]) -> List[object]:
+        """Run ``fn`` over lane indices, threaded when more than one lane.
+
+        Results come back indexed by lane, so callers' reductions are
+        deterministic regardless of thread scheduling.
+        """
+
+        n_lanes = len(self._lanes)
+        if n_lanes <= 1:
+            return [fn(index) for index in range(n_lanes)]
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=n_lanes - 1, thread_name_prefix="repro-lane")
+        futures = [self._executor.submit(fn, index)
+                   for index in range(1, n_lanes)]
+        results = [fn(0)]
+        for future in futures:
+            results.append(future.result())
+        return results
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -273,18 +402,19 @@ class FusedFaultEngine:
         for kernel in self._clean:
             if isinstance(kernel, NeuronKernel):
                 kernel.reset()
-        for kernel in self._fork:
-            if isinstance(kernel, NeuronKernel):
-                kernel.reset()
+        for lane in self._lanes:
+            for kernel in lane.kernels:
+                if isinstance(kernel, NeuronKernel):
+                    kernel.reset()
 
     # ------------------------------------------------------------------
     def _fork_affine(self, layer: _AffineExec, x_c: Optional[np.ndarray],
-                     x_v: Optional[np.ndarray], batch: int) -> np.ndarray:
-        """Run one corrupted affine layer for all maps forked so far.
+                     x_v: Optional[np.ndarray]) -> np.ndarray:
+        """Run one corrupted affine layer for a lane's maps forked so far.
 
         Maps forking *at* this layer enter with the clean activations; maps
         forked earlier carry their own slice of the fork lane.  The result
-        keeps the leading ``(F_active, batch, ...)`` fault-map axis.
+        keeps the leading ``(F_lane, batch, ...)`` fault-map axis.
         """
 
         spec = layer.spec
@@ -308,70 +438,112 @@ class FusedFaultEngine:
             out = out.astype(self.dtype)
         return out
 
-    def _run_ops(self, x_c: Optional[np.ndarray], x_v: Optional[np.ndarray],
-                 start: int, stop: int, batch: int
-                 ) -> Tuple[Optional[np.ndarray], Optional[np.ndarray]]:
+    def _run_clean(self, x_c: Optional[np.ndarray], start: int, stop: int,
+                   stash: Dict[int, np.ndarray]) -> Optional[np.ndarray]:
+        """Advance the clean lane, stashing fork-entry activations.
+
+        ``stash[i]`` receives the clean *input* of every affine op ``i``
+        some map forks at; the lanes read those activations afterwards.
+        The references stay valid for the whole step: a clean kernel's
+        output buffer is only overwritten the next time that kernel runs,
+        and lanes are joined before the next step's clean pass starts.
+        """
+
         ops = self.plan.ops
         for i in range(start, stop):
             op = ops[i]
             if isinstance(op, AffineSpec):
-                layer = self._layers[op.index]
-                new_x_v = x_v
-                if layer.num_active:
-                    new_x_v = self._fork_affine(layer, x_c, x_v, batch)
-                x_c = self._clean[i].run(x_c) if layer.clean_out_needed else None
-                x_v = new_x_v
-            else:
-                if x_c is not None:
-                    x_c = self._clean[i].run(x_c)
-                if x_v is not None:
-                    x_v = self._fork[i].run(x_v)
-        return x_c, x_v
+                if i in self._stash_ops:
+                    stash[i] = x_c
+                x_c = (self._clean[i].run(x_c)
+                       if self._clean_out_needed[op.index] else None)
+            elif x_c is not None:
+                x_c = self._clean[i].run(x_c)
+        return x_c
+
+    def _run_lane(self, lane: _Lane, x_v: Optional[np.ndarray], start: int,
+                  stop: int, stash: Dict[int, np.ndarray]
+                  ) -> Optional[np.ndarray]:
+        """Advance one lane's fork activations over ops ``[start, stop)``."""
+
+        ops = self.plan.ops
+        for i in range(max(start, lane.start), stop):
+            op = ops[i]
+            if isinstance(op, AffineSpec):
+                layer = lane.layers[op.index]
+                if layer is not None:
+                    x_v = self._fork_affine(layer, stash.get(i), x_v)
+            elif x_v is not None:
+                x_v = lane.kernels[i].run(x_v)
+        return x_v
 
     def run(self, inputs) -> np.ndarray:
         """Per-map firing rates of shape ``(F, batch, num_classes)``.
 
         ``result[f]`` is bit-identical (float64) to the autograd forward
-        with the model's affine layers routed through ``arrays[f]``.
+        with the model's affine layers routed through ``arrays[f]``,
+        independent of ``lane_threads``.
         """
 
         x0 = np.asarray(inputs, dtype=self.dtype)
         static = x0.ndim in (4, 2)
         batch = x0.shape[0] if static else x0.shape[1]
+        n_ops = len(self.plan.ops)
         self._reset_state()
         acc_c: Optional[np.ndarray] = None
-        acc_v: Optional[np.ndarray] = None
+        lane_accs: List[Optional[np.ndarray]] = [None] * len(self._lanes)
         cached: Optional[Tuple] = None
         steps = 0
         for frame in _iter_frames(x0, self.plan.time_steps):
             if static and cached is not None:
-                x_c, x_v = cached
+                x_c0, lane_x0 = cached
             else:
-                x_c, x_v = self._run_ops(frame, None, 0, self._prefix, batch)
+                # The prefix is stateless, so for static inputs it runs
+                # once; its per-lane outputs are computed in parallel too
+                # (most maps fork at the first -- in-prefix -- affine).
+                prefix_stash: Dict[int, np.ndarray] = {}
+                x_c0 = self._run_clean(frame, 0, self._prefix, prefix_stash)
+                lane_x0 = self._map_lanes(
+                    lambda index: self._run_lane(self._lanes[index], None, 0,
+                                                 self._prefix, prefix_stash))
                 if static:
-                    cached = (x_c, x_v)
-            x_c, x_v = self._run_ops(x_c, x_v, self._prefix, len(self.plan.ops),
-                                     batch)
-            if steps == 0:
-                acc_c = None if x_c is None else x_c.astype(self.dtype, copy=True)
-                acc_v = None if x_v is None else x_v.astype(self.dtype, copy=True)
-            else:
-                if acc_c is not None:
+                    cached = (x_c0, lane_x0)
+            # Serial clean pass first (it produces the fork-entry
+            # activations), then every lane's tail in parallel.  Each lane
+            # accumulates into its own slot, so the reduction order is
+            # fixed at construction, not by thread scheduling.
+            stash: Dict[int, np.ndarray] = {}
+            x_c = self._run_clean(x_c0, self._prefix, n_ops, stash)
+            step = steps
+
+            def lane_tail(index: int) -> None:
+                x_v = self._run_lane(self._lanes[index], lane_x0[index],
+                                     self._prefix, n_ops, stash)
+                acc = lane_accs[index]
+                if step == 0 or acc is None:
+                    lane_accs[index] = x_v.astype(self.dtype, copy=True)
+                else:
+                    np.add(acc, x_v, out=acc)
+
+            self._map_lanes(lane_tail)
+            if x_c is not None:
+                if steps == 0 or acc_c is None:
+                    acc_c = x_c.astype(self.dtype, copy=True)
+                else:
                     np.add(acc_c, x_c, out=acc_c)
-                if acc_v is not None:
-                    np.add(acc_v, x_v, out=acc_v)
             steps += 1
 
         scale = 1.0 / steps
-        num_classes = (acc_c if acc_c is not None else acc_v).shape[-1]
+        reference = acc_c if acc_c is not None else lane_accs[0]
+        num_classes = reference.shape[-1]
         rates = np.empty((self.num_maps, batch, num_classes), dtype=self.dtype)
         if acc_c is not None:
             np.multiply(acc_c, scale, out=acc_c)
-        if acc_v is not None:
-            np.multiply(acc_v, scale, out=acc_v)
+        for lane, acc in zip(self._lanes, lane_accs):
+            np.multiply(acc, scale, out=acc)
+            for position, map_index in enumerate(lane.maps):
+                rates[map_index] = acc[position]
         forked = set(self.fork_order)
-        for position, map_index in enumerate(self.fork_order):
-            rates[map_index] = acc_v[position]
         for map_index in range(self.num_maps):
             if map_index not in forked:
                 rates[map_index] = acc_c

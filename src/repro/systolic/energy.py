@@ -124,9 +124,9 @@ class EnergyModel:
 
         if rows <= 0 or cols <= 0:
             raise ValueError("array dimensions must be positive")
-        per_pe = ADDER_PE_AREA if style == "snn" else MAC_PE_AREA
         if style not in ("snn", "ann"):
             raise ValueError("style must be 'snn' or 'ann'")
+        per_pe = ADDER_PE_AREA if style == "snn" else MAC_PE_AREA
         if with_bypass:
             per_pe *= (1.0 + BYPASS_AREA_OVERHEAD)
         return rows * cols * per_pe

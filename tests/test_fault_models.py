@@ -119,6 +119,31 @@ class TestFaultMap:
         merged = a.merge(b)
         assert len(merged) == 2
 
+    def test_bit_position_beyond_simulation_word_rejected(self):
+        """The int64 chain kernel can never force bit 64+: fail at construction."""
+
+        assert StuckAtFault(63).bit_position == 63
+        with pytest.raises(ValueError, match="bit_position"):
+            StuckAtFault(64)
+
+    def test_format_pinned_map_rejects_out_of_range_bits(self):
+        ok = StuckAtFault(FMT.total_bits - 1)
+        with pytest.raises(ValueError, match="accumulator format"):
+            FaultMap(4, 4, {(0, 0): StuckAtFault(FMT.total_bits)}, fmt=FMT)
+        fm = FaultMap(4, 4, fmt=FMT)
+        fm.add(0, 0, ok)                      # in-range bit accepted
+        with pytest.raises(ValueError, match="accumulator format"):
+            fm.add(1, 1, StuckAtFault(FMT.total_bits))
+        # Without a pinned format the construction-time check is off.
+        unpinned = FaultMap(4, 4, {(0, 0): StuckAtFault(FMT.total_bits)})
+        assert len(unpinned) == 1
+
+    def test_merge_propagates_format(self):
+        pinned = FaultMap(4, 4, {(0, 0): StuckAtFault(1)}, fmt=FMT)
+        plain = FaultMap(4, 4, {(1, 1): StuckAtFault(2)})
+        assert pinned.merge(plain).fmt is FMT
+        assert plain.merge(pinned).fmt is FMT
+
     def test_merge_size_mismatch(self):
         with pytest.raises(ValueError):
             FaultMap(4, 4).merge(FaultMap(8, 8))
@@ -150,6 +175,30 @@ class TestGenerators:
         fm = random_fault_map(16, 16, 40, seed=2, high_order_bits=4)
         bits = {fault.bit_position for fault in fm.faults.values()}
         assert all(FMT.magnitude_msb - 3 <= b <= FMT.magnitude_msb for b in bits)
+
+    def test_oversized_sampling_window_clamps_at_bit_zero(self):
+        """high_order_bits > magnitude_msb + 1 must not go negative."""
+
+        fm = random_fault_map(16, 16, 60, seed=3,
+                              high_order_bits=FMT.magnitude_msb + 50)
+        bits = {fault.bit_position for fault in fm.faults.values()}
+        assert all(0 <= b <= FMT.magnitude_msb for b in bits)
+        # The clamped window spans every data bit, so low bits are reachable.
+        assert min(bits) < FMT.magnitude_msb - 3
+
+    def test_window_exactly_all_data_bits_boundary(self):
+        fm = random_fault_map(16, 16, 60, seed=4,
+                              high_order_bits=FMT.magnitude_msb + 1)
+        bits = {fault.bit_position for fault in fm.faults.values()}
+        assert all(0 <= b <= FMT.magnitude_msb for b in bits)
+
+    def test_non_positive_high_order_bits_rejected(self):
+        with pytest.raises(ValueError, match="high_order_bits"):
+            random_fault_map(4, 4, 1, seed=0, high_order_bits=0)
+
+    def test_generated_maps_carry_their_format(self):
+        fm = random_fault_map(8, 8, 4, seed=5)
+        assert fm.fmt is FMT
 
     def test_fixed_bit_position(self):
         fm = single_bit_fault_map(8, 8, 5, bit_position=3, stuck_type="sa0", seed=0)

@@ -1,0 +1,182 @@
+"""Lane-parallel fused engine: bit-identity, knob plumbing, pool composition.
+
+The fused engine's fork lanes partition ``fork_order`` into contiguous
+slices executed on a thread pool; per-slice results of the stacked GEMMs
+are independent, so every ``lane_threads`` setting must produce
+``tobytes()``-identical firing rates and therefore identical accuracy
+records.  The knob must also compose with the fork-based worker pool: an
+unset value inside a multi-worker runner stays at one lane per worker.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.datasets import DataLoader
+from repro.faults import (
+    CampaignPoint,
+    CampaignRunner,
+    build_faulty_array,
+    evaluate_with_faults,
+    evaluate_with_faults_batched,
+    random_fault_map,
+)
+from repro.snn.inference import FusedFaultEngine, resolve_lane_threads
+from repro.systolic import DEFAULT_ACCUMULATOR_FORMAT
+
+FMT = DEFAULT_ACCUMULATOR_FORMAT
+
+
+@pytest.fixture()
+def test_loader(tiny_mnist_data):
+    _, test = tiny_mnist_data
+    return DataLoader(test, batch_size=50)
+
+
+def _arrays(num_maps, counts=None, seed=0):
+    counts = counts if counts is not None else [3] * num_maps
+    return [
+        build_faulty_array(
+            random_fault_map(8, 8, counts[index], bit_position=None,
+                             stuck_type=index % 2, seed=seed + index))
+        for index in range(num_maps)
+    ]
+
+
+def _rates(model, arrays, frame, lane_threads):
+    with FusedFaultEngine(model, arrays,
+                          lane_threads=lane_threads) as engine:
+        return engine.run(frame)
+
+
+# ----------------------------------------------------------------------
+# Bit identity across lane counts
+# ----------------------------------------------------------------------
+class TestLaneBitIdentity:
+    def test_rates_byte_identical_at_1_2_4_threads(self, trained_tiny_model,
+                                                   test_loader):
+        frame, _ = next(iter(test_loader))
+        arrays = _arrays(5, counts=[0, 1, 3, 5, 2])
+        serial = _rates(trained_tiny_model, arrays, frame, 1)
+        assert serial.dtype == np.float64
+        for threads in (2, 4):
+            parallel = _rates(trained_tiny_model, arrays, frame, threads)
+            assert parallel.tobytes() == serial.tobytes()
+
+    def test_more_lanes_than_forked_maps(self, trained_tiny_model, test_loader):
+        """Lane count clamps to the forked-map count; extras change nothing."""
+
+        frame, _ = next(iter(test_loader))
+        arrays = _arrays(2, counts=[2, 4])
+        serial = _rates(trained_tiny_model, arrays, frame, 1)
+        wide = _rates(trained_tiny_model, arrays, frame, 16)
+        assert wide.tobytes() == serial.tobytes()
+
+    def test_accuracies_identical_across_lane_threads(self, trained_tiny_model,
+                                                      test_loader):
+        maps = [random_fault_map(8, 8, count, seed=7 + count)
+                for count in (0, 2, 5)]
+        serial = evaluate_with_faults_batched(trained_tiny_model, test_loader,
+                                              fault_maps=maps, lane_threads=1)
+        for threads in (2, 4):
+            parallel = evaluate_with_faults_batched(
+                trained_tiny_model, test_loader, fault_maps=maps,
+                lane_threads=threads)
+            assert parallel == serial
+
+    @given(counts=st.lists(st.integers(0, 6), min_size=1, max_size=6),
+           seed=st.integers(0, 2**16))
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_lane_partition_property(self, trained_tiny_model, tiny_mnist_data,
+                                     counts, seed):
+        """Any fault-map population splits into lanes without changing bits."""
+
+        _, test = tiny_mnist_data
+        frame = DataLoader(test, batch_size=10)
+        inputs, _ = next(iter(frame))
+        arrays = _arrays(len(counts), counts=counts, seed=seed)
+        serial = _rates(trained_tiny_model, arrays, inputs, 1)
+        parallel = _rates(trained_tiny_model, arrays, inputs, 3)
+        assert parallel.tobytes() == serial.tobytes()
+
+
+# ----------------------------------------------------------------------
+# Knob resolution and validation
+# ----------------------------------------------------------------------
+class TestLaneKnob:
+    def test_env_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LANE_THREADS", raising=False)
+        assert resolve_lane_threads() == 1
+        monkeypatch.setenv("REPRO_LANE_THREADS", "3")
+        assert resolve_lane_threads() == 3
+        assert resolve_lane_threads(2) == 2   # explicit beats env
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_lane_threads(0)
+        with pytest.raises(ValueError):
+            resolve_lane_threads("nope")
+
+    def test_lane_threads_require_fused_engine(self, trained_tiny_model,
+                                               test_loader):
+        maps = [random_fault_map(8, 8, 2, seed=1)]
+        with pytest.raises(ValueError, match="fused"):
+            evaluate_with_faults_batched(trained_tiny_model, test_loader,
+                                         fault_maps=maps, engine="batched",
+                                         lane_threads=2)
+        with pytest.raises(ValueError, match="fused"):
+            evaluate_with_faults(trained_tiny_model, test_loader,
+                                 fault_map=maps[0], engine="sequential",
+                                 lane_threads=2)
+
+    def test_runner_rejects_bad_lane_threads(self, trained_tiny_model,
+                                             test_loader):
+        with pytest.raises(ValueError):
+            CampaignRunner(trained_tiny_model, test_loader, lane_threads=0)
+        with pytest.raises(ValueError):
+            CampaignRunner(trained_tiny_model, test_loader, engine="batched",
+                           lane_threads=2)
+
+    def test_executor_lifecycle(self, trained_tiny_model, test_loader):
+        frame, _ = next(iter(test_loader))
+        engine = FusedFaultEngine(trained_tiny_model, _arrays(3),
+                                  lane_threads=2)
+        assert engine._executor is None      # lazily created
+        engine.run(frame)
+        assert engine._executor is not None
+        engine.close()
+        assert engine._executor is None
+        engine.close()                       # idempotent
+
+
+# ----------------------------------------------------------------------
+# Composition with the fork-based worker pool
+# ----------------------------------------------------------------------
+class TestPoolComposition:
+    POINTS = [CampaignPoint.for_trials(8, 8, count, trials=2, seed=41 + count)
+              for count in (1, 4)]
+
+    def test_unset_lane_threads_stay_serial_inside_pool(self, trained_tiny_model,
+                                                        test_loader):
+        pooled = CampaignRunner(trained_tiny_model, test_loader, workers=2)
+        assert pooled._effective_lane_threads == 1
+        serial = CampaignRunner(trained_tiny_model, test_loader)
+        assert serial._effective_lane_threads is None
+
+    def test_workers_times_lanes_byte_identical(self, trained_tiny_model,
+                                                test_loader):
+        """workers=2 x lane_threads=2 records equal the plain serial run."""
+
+        serial = CampaignRunner(trained_tiny_model, test_loader).run(self.POINTS)
+        composed = CampaignRunner(trained_tiny_model, test_loader, workers=2,
+                                  lane_threads=2)
+        assert composed._effective_lane_threads == 2
+        assert composed.run(self.POINTS) == serial
+
+    def test_lane_threads_alone_match_serial_records(self, trained_tiny_model,
+                                                     test_loader):
+        serial = CampaignRunner(trained_tiny_model, test_loader).run(self.POINTS)
+        laned = CampaignRunner(trained_tiny_model, test_loader,
+                               lane_threads=4).run(self.POINTS)
+        assert laned == serial

@@ -80,6 +80,17 @@ class TestAreaModel:
         with pytest.raises(ValueError):
             model.array_area(4, 4, style="gpu")
 
+    def test_invalid_style_rejected_before_area_selection(self):
+        """Style validation must precede the per-PE area pick, for every flag."""
+
+        model = EnergyModel()
+        for with_bypass in (False, True):
+            with pytest.raises(ValueError, match="style"):
+                model.array_area(4, 4, style="tpu", with_bypass=with_bypass)
+        # Valid styles still pick the matching per-PE area.
+        assert model.array_area(2, 2, style="ann") > model.array_area(2, 2,
+                                                                      style="snn")
+
 
 class TestComparison:
     def test_compare_summary_keys_and_ordering(self):
