@@ -280,6 +280,74 @@ def test_bench_campaign_orchestrator(campaign_setup, tmp_path):
     assert resume_time < 0.5 * pool_time
 
 
+def test_bench_campaign_chaos_recovery(campaign_setup, tmp_path):
+    """Failure-recovery cost on the heartbeat pool: bounded overhead, zero drift.
+
+    The heartbeat/watchdog machinery is always on in pool mode, so the
+    clean 2-worker run prices its steady-state cost against the serial
+    oracle (reported by test_bench_campaign_orchestrator).  The chaos run
+    then injects one worker crash (SIGKILL-equivalent ``os._exit`` →
+    kill + fork replacement + unit redo) and one poisoned attempt
+    (in-worker exception → backoff + retry) and must still produce
+    byte-identical records on its own.  The watchdog-kill path for a real
+    hang waits out the soft deadline by design, so it is priced by the
+    tier-1 tests and the CI chaos smoke, not timed here.
+    """
+
+    import json
+
+    from repro.faults import CampaignOrchestrator, CampaignPoint, CampaignRunner
+    from repro.testing import clear_plan, install_plan
+
+    model, loader = campaign_setup
+    points = [
+        CampaignPoint.for_trials(
+            CAMPAIGN_CONFIG.array_rows, CAMPAIGN_CONFIG.array_cols, count,
+            TRIALS, bit_position=None, stuck_type="sa1",
+            seed=CAMPAIGN_CONFIG.seed + count, label="bench-chaos",
+            dataset="mnist")
+        for count in COUNTS if count
+    ]
+
+    serial = CampaignRunner(model, loader).run(points)
+
+    start = time.perf_counter()
+    clean = CampaignRunner(model, loader, workers=2, trial_chunk=2).run(points)
+    clean_time = time.perf_counter() - start
+
+    install_plan({
+        "rules": [{"site": "unit", "action": "crash", "key": 0},
+                  {"site": "unit", "action": "raise", "key": 1}],
+        "state_dir": str(tmp_path / "chaos-state"),
+    })
+    try:
+        runner = CampaignRunner(model, loader)
+        orchestrator = CampaignOrchestrator(runner, workers=2, trial_chunk=2,
+                                            retry_backoff=0.05)
+        start = time.perf_counter()
+        result = orchestrator.run(points)
+        chaos_time = time.perf_counter() - start
+    finally:
+        clear_plan()
+
+    overhead = chaos_time - clean_time
+    print(f"\nchaos recovery: clean 2-worker {clean_time:.2f}s, "
+          f"crash+poison {chaos_time:.2f}s (overhead {overhead:+.2f}s, "
+          f"{result.report.retries} retries)")
+
+    canonical = lambda records: json.dumps(records, sort_keys=True)  # noqa: E731
+    assert result.complete
+    assert canonical(clean) == canonical(serial)
+    assert canonical(result.records) == canonical(serial)
+    assert result.report.crashed == 1
+    assert result.report.poisoned == 1
+    assert result.report.retries >= 2
+    # Recovery redoes one unit and respawns one forked worker; it must stay
+    # within a small multiple of the clean pooled sweep even on loaded CI.
+    assert chaos_time <= 3.0 * clean_time + 10.0, \
+        f"chaos recovery cost {chaos_time:.2f}s vs clean {clean_time:.2f}s"
+
+
 def test_bench_campaign_lane_scaling(campaign_setup):
     """Lane-thread scaling: byte-identical records at 1/2/4 fork lanes.
 

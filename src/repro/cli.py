@@ -149,6 +149,13 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
                              "per-map accuracies are independent of the "
                              "split, so merged float64 records are "
                              "byte-identical to an unchunked run")
+    parser.add_argument("--unit-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-unit soft deadline for orchestrated sweeps: "
+                             "a worker whose unit runs longer is killed and "
+                             "the unit retried on another worker (default: "
+                             "derived from observed unit timings).  A timing "
+                             "knob only -- records are unchanged")
     parser.add_argument("--resume", action="store_true",
                         help=f"cache results under {DEFAULT_CACHE_DIR}/ (when "
                              "no --cache-dir is given) so an interrupted "
@@ -186,6 +193,16 @@ def _print_progress(event: dict) -> None:
     elif kind == "worker-crash":
         print(f"  worker {event.get('pid')} died (exit {event.get('exitcode')}); "
               f"rescheduling its unit if attempts remain")
+    elif kind == "worker-hung":
+        print(f"  worker {event.get('pid')} hung ({event.get('error')}); "
+              f"killed and replaced, rescheduling its unit if attempts remain")
+    elif kind == "cache-corrupt":
+        print(f"  damaged cache entry quarantined to "
+              f"{event.get('quarantined_to')}; recomputing "
+              f"({event.get('detail')})")
+    elif kind == "store-degraded":
+        print(f"  could not store cache record ({event.get('detail')}); "
+              f"continuing uncached")
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -227,6 +244,7 @@ def _engine_kwargs_for(runner, args: argparse.Namespace) -> dict:
     options = {"engine": args.engine, "workers": args.workers,
                "cache_dir": _resolve_cache_dir(args), "dtype": args.dtype,
                "shard": args.shard, "trial_chunk": args.trial_chunk,
+               "unit_timeout": args.unit_timeout,
                "lane_threads": args.lane_threads,
                "plan_cache": not args.no_plan_cache}
     if args.workers > 1 or args.shard is not None:
@@ -290,6 +308,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     engine_options = dict(engine=args.engine, workers=args.workers,
                           cache_dir=cache_dir, dtype=args.dtype,
                           shard=args.shard, trial_chunk=args.trial_chunk,
+                          unit_timeout=args.unit_timeout,
                           lane_threads=args.lane_threads,
                           plan_cache=not args.no_plan_cache)
     if args.workers > 1 or args.shard is not None:

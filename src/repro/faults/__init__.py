@@ -22,7 +22,14 @@ from .injection import (
     evaluate_with_faults,
     evaluate_with_faults_batched,
 )
-from .campaign import CampaignPoint, CampaignRunner, cached_record, map_grid
+from .campaign import (
+    CampaignPoint,
+    CampaignRunner,
+    cached_record,
+    load_cached_record,
+    map_grid,
+    store_record_safe,
+)
 from .orchestrator import (
     CampaignOrchestrator,
     OrchestratorResult,
@@ -73,6 +80,8 @@ __all__ = [
     "WorkUnit",
     "map_grid",
     "cached_record",
+    "load_cached_record",
+    "store_record_safe",
     "baseline_accuracy",
     "sweep_array_sizes",
     "sweep_bit_locations",

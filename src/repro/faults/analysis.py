@@ -61,10 +61,12 @@ def baseline_accuracy(model, loader) -> float:
 
 def _make_runner(model, loader, fmt: FixedPointFormat, engine: str,
                  workers: int, cache_dir, dtype: str, shard, trial_chunk,
-                 progress, lane_threads=None, plan_cache=True) -> CampaignRunner:
+                 progress, lane_threads=None, plan_cache=True,
+                 unit_timeout=None) -> CampaignRunner:
     return CampaignRunner(model, loader, fmt=fmt, engine=engine,
                           workers=workers, cache_dir=cache_dir, dtype=dtype,
                           shard=shard, trial_chunk=trial_chunk,
+                          unit_timeout=unit_timeout,
                           progress=progress, lane_threads=lane_threads,
                           plan_cache=plan_cache)
 
@@ -86,7 +88,8 @@ def sweep_bit_locations(model, loader, *,
                         trial_chunk=None,
                         progress=None,
                         lane_threads=None,
-                        plan_cache=True) -> List[dict]:
+                        plan_cache=True,
+                        unit_timeout=None) -> List[dict]:
     """Accuracy versus fault bit location and polarity (Fig. 5a).
 
     For each (bit position, stuck-at polarity) pair, ``trials`` random fault
@@ -96,7 +99,7 @@ def sweep_bit_locations(model, loader, *,
 
     runner = _make_runner(model, loader, fmt, engine, workers, cache_dir,
                           dtype, shard, trial_chunk, progress, lane_threads,
-                          plan_cache)
+                          plan_cache, unit_timeout)
     points: List[CampaignPoint] = []
     for stuck in stuck_types:
         stuck = StuckAtType.from_value(stuck)
@@ -137,7 +140,8 @@ def sweep_faulty_pe_count(model, loader, *,
                           trial_chunk=None,
                           progress=None,
                           lane_threads=None,
-                          plan_cache=True) -> List[dict]:
+                          plan_cache=True,
+                          unit_timeout=None) -> List[dict]:
     """Accuracy versus number of faulty PEs (Fig. 5b).
 
     Faults are injected in the higher-order accumulator bits (worst case), and
@@ -149,7 +153,7 @@ def sweep_faulty_pe_count(model, loader, *,
         bit_position = fmt.magnitude_msb
     runner = _make_runner(model, loader, fmt, engine, workers, cache_dir,
                           dtype, shard, trial_chunk, progress, lane_threads,
-                          plan_cache)
+                          plan_cache, unit_timeout)
     points = [
         CampaignPoint.for_trials(
             rows, cols, count, trials,
@@ -200,7 +204,8 @@ def sweep_array_sizes(model, loader, *,
                       trial_chunk=None,
                       progress=None,
                       lane_threads=None,
-                      plan_cache=True) -> List[dict]:
+                      plan_cache=True,
+                      unit_timeout=None) -> List[dict]:
     """Accuracy versus systolic array size at a fixed number of faulty PEs (Fig. 5c).
 
     Smaller arrays are reused more heavily (more weights per PE), so the same
@@ -214,7 +219,7 @@ def sweep_array_sizes(model, loader, *,
             raise ValueError(f"cannot place {num_faulty} faults in a {size}x{size} array")
     runner = _make_runner(model, loader, fmt, engine, workers, cache_dir,
                           dtype, shard, trial_chunk, progress, lane_threads,
-                          plan_cache)
+                          plan_cache, unit_timeout)
     points = [
         CampaignPoint.for_trials(
             size, size, num_faulty, trials,

@@ -44,6 +44,7 @@ import numpy as np
 
 from ..systolic.fixed_point import DEFAULT_ACCUMULATOR_FORMAT, FixedPointFormat
 from ..utils.hashing import loader_token, model_token, state_token
+from ..utils.logging import get_logger
 from ..utils.rng import get_rng
 from ..utils.serialization import load_records, save_records
 from .fault_map import FaultMap, random_fault_map
@@ -56,11 +57,15 @@ __all__ = [
     "DTYPES",
     "ENGINES",
     "cached_record",
+    "load_cached_record",
     "loader_token",
     "map_grid",
     "model_token",
     "state_token",
+    "store_record_safe",
 ]
+
+logger = get_logger("faults.campaign")
 
 #: Execution engines understood by :class:`CampaignRunner`.
 ENGINES = ("fused", "batched", "sequential")
@@ -171,36 +176,152 @@ def _digest_payload(payload: dict) -> str:
         json.dumps(payload, sort_keys=True, default=str).encode("utf-8")).hexdigest()
 
 
+#: Keys every campaign record must carry to be usable as a cache hit.
+#: An entry missing any of them (schema drift, torn write that still
+#: parses) is treated as damaged and quarantined.
+_REQUIRED_RECORD_KEYS = ("accuracies", "accuracy", "trials")
+
+
+def _quarantine_cache_entry(path: Path) -> Optional[Path]:
+    """Move a damaged cache entry to a ``*.quarantined`` sidecar.
+
+    Keeps the bytes for post-mortem inspection while freeing the key for a
+    clean recompute.  Returns the sidecar path (``None`` if even the rename
+    failed -- e.g. the entry vanished or the filesystem is read-only, in
+    which case the caller still recomputes, it just may re-trip later).
+    """
+
+    sidecar = path.with_name(path.name + ".quarantined")
+    try:
+        os.replace(path, sidecar)
+    except OSError:
+        return None
+    return sidecar
+
+
+def load_cached_record(path: Path, *,
+                       required_keys: Sequence[str] = (),
+                       on_event: Optional[Callable[[dict], None]] = None
+                       ) -> Optional[dict]:
+    """Validated cache read: a damaged entry quarantines to a miss.
+
+    Returns the parsed record, or ``None`` when ``path`` does not exist or
+    holds a damaged entry -- unparsable JSON (truncated or garbage bytes),
+    a non-dict payload, or a dict missing any of ``required_keys``.  Damaged
+    entries are moved to a ``*.quarantined`` sidecar (so the key recomputes
+    cleanly and the bytes survive for inspection), a warning is logged, and
+    ``on_event`` (if given) receives a ``{"kind": "cache-corrupt", ...}``
+    dict describing the incident.
+    """
+
+    path = Path(path)
+    if not path.exists():
+        return None
+    try:
+        record = load_records(path)
+    except (json.JSONDecodeError, UnicodeDecodeError, ValueError, OSError) as exc:
+        detail = f"{type(exc).__name__}: {exc}"
+        record = None
+    else:
+        if not isinstance(record, dict):
+            detail = f"expected a JSON object, found {type(record).__name__}"
+            record = None
+        else:
+            missing = [key for key in required_keys if key not in record]
+            if missing:
+                detail = f"missing required key(s): {', '.join(missing)}"
+                record = None
+    if record is not None:
+        return record
+    sidecar = _quarantine_cache_entry(path)
+    logger.warning(
+        "damaged cache entry %s (%s); quarantined to %s and recomputing",
+        path.name, detail, sidecar.name if sidecar is not None else "<failed>")
+    if on_event is not None:
+        on_event({"kind": "cache-corrupt", "path": str(path), "detail": detail,
+                  "quarantined_to": None if sidecar is None else str(sidecar)})
+    return None
+
+
 def _store_record(record, path: Path) -> None:
     """Write a cache record atomically (temp file + rename).
 
     An interrupted run must never leave a truncated JSON behind: a partial
-    file would satisfy the existence check and crash every later lookup.
+    file would satisfy the existence check and poison every later lookup.
+    The chaos harness's ``cache-store`` hook sits between the temp write
+    and the rename -- exactly where a real torn write or full disk bites.
     """
+
+    from ..testing.chaos import active_plan
 
     path.parent.mkdir(parents=True, exist_ok=True)
     temporary = path.with_name(path.name + f".tmp{os.getpid()}")
-    save_records(record, temporary)
-    os.replace(temporary, path)
+    try:
+        save_records(record, temporary)
+        plan = active_plan()
+        if plan is not None:
+            plan.consult("cache-store", key=path.name, path=temporary)
+        os.replace(temporary, path)
+    except BaseException:
+        try:
+            os.unlink(temporary)
+        except OSError:
+            pass
+        raise
+
+
+def store_record_safe(record, path: Path, *,
+                      on_event: Optional[Callable[[dict], None]] = None) -> bool:
+    """Best-effort atomic store: an ``OSError`` degrades to uncached compute.
+
+    A full disk (``ENOSPC``), a permission flip or a vanished cache mount
+    must not fail a sweep that already holds the computed record in memory:
+    the failure is logged once per call, reported through ``on_event`` as a
+    ``{"kind": "store-degraded", ...}`` dict, and the sweep continues --
+    the record is simply recomputed next run.  Returns whether the store
+    succeeded.
+    """
+
+    try:
+        _store_record(record, path)
+    except OSError as exc:
+        logger.warning(
+            "could not store cache record %s (%s); continuing uncached",
+            path.name, exc)
+        if on_event is not None:
+            on_event({"kind": "store-degraded", "path": str(path),
+                      "detail": f"{type(exc).__name__}: {exc}"})
+        return False
+    return True
 
 
 def cached_record(cache_dir: Optional[Union[str, Path]], payload: dict,
-                  compute: Callable[[], dict]) -> dict:
+                  compute: Callable[[], dict], *,
+                  required_keys: Sequence[str] = (),
+                  on_event: Optional[Callable[[dict], None]] = None) -> dict:
     """Return the cached record for ``payload``, computing and storing on miss.
 
     ``payload`` must be a JSON-stable dict uniquely identifying the work
     (model hash, grid point, seeds, ...).  Records are stored as pretty JSON
     via :mod:`repro.utils.serialization`, one file per key, so caches can be
     inspected and diffed by hand.
+
+    The cache self-heals: a damaged entry (unparsable JSON or one missing
+    ``required_keys``) is quarantined to a ``*.quarantined`` sidecar and
+    recomputed instead of raising, and a failed store (e.g. ``ENOSPC``)
+    degrades to returning the computed record uncached.  ``on_event``
+    receives a dict per incident (``cache-corrupt`` / ``store-degraded``).
     """
 
     if cache_dir is None:
         return compute()
     path = Path(cache_dir) / f"{_digest_payload(payload)}.json"
-    if path.exists():
-        return load_records(path)
+    record = load_cached_record(path, required_keys=required_keys,
+                                on_event=on_event)
+    if record is not None:
+        return record
     record = compute()
-    _store_record(record, path)
+    store_record_safe(record, path, on_event=on_event)
     return record
 
 
@@ -275,6 +396,12 @@ class CampaignRunner:
     trial_chunk:
         Maximum trials per orchestrated work unit (``None`` keeps one unit
         per point, whose cache keys equal the plain per-point keys).
+    unit_timeout:
+        Optional per-unit soft deadline in seconds for orchestrated sweeps
+        (CLI: ``--unit-timeout``): a worker whose unit exceeds it is killed
+        by the watchdog and the unit retried elsewhere.  ``None`` (default)
+        derives the deadline from observed unit timings.  Timings only --
+        it cannot change records.
     progress:
         Optional callable receiving the orchestrator's structured progress
         events (per-unit timing, retries, ETA); parent process only.
@@ -311,6 +438,7 @@ class CampaignRunner:
                  dtype: str = "float64",
                  shard=None,
                  trial_chunk: Optional[int] = None,
+                 unit_timeout: Optional[float] = None,
                  progress: Optional[Callable[[dict], None]] = None,
                  lane_threads: Optional[int] = None,
                  plan_cache=True) -> None:
@@ -341,6 +469,7 @@ class CampaignRunner:
             shard = ShardSpec.parse(shard)
         self.shard = shard
         self.trial_chunk = None if trial_chunk is None else int(trial_chunk)
+        self.unit_timeout = None if unit_timeout is None else float(unit_timeout)
         self.progress = progress
         self.lane_threads = lane_threads
         # Fork-pool composition: an *unset* knob must not resolve
@@ -488,10 +617,11 @@ class CampaignRunner:
         return [record for record in results if record is not None]
 
     def evaluate_point(self, point: CampaignPoint) -> dict:
-        """Record for one grid point, going through the cache."""
+        """Record for one grid point, going through the (self-healing) cache."""
 
         return cached_record(self.cache_dir, self._cache_payload(point),
-                             lambda: self._evaluate_point(point))
+                             lambda: self._evaluate_point(point),
+                             required_keys=_REQUIRED_RECORD_KEYS)
 
     def run(self, points: Sequence[CampaignPoint]) -> List[dict]:
         """Records for all ``points``, in input order.
@@ -515,8 +645,10 @@ class CampaignRunner:
             for index, point in enumerate(points):
                 payload = self._cache_payload(point)
                 path = self.cache_dir / f"{_digest_payload(payload)}.json"
-                if path.exists():
-                    records[index] = load_records(path)
+                record = load_cached_record(
+                    path, required_keys=_REQUIRED_RECORD_KEYS)
+                if record is not None:
+                    records[index] = record
                 else:
                     missing.append(index)
         else:
@@ -532,7 +664,9 @@ class CampaignRunner:
                 records[index] = record
                 if self.cache_dir is not None:
                     payload = self._cache_payload(points[index])
-                    _store_record(record, self.cache_dir / f"{_digest_payload(payload)}.json")
+                    store_record_safe(
+                        record,
+                        self.cache_dir / f"{_digest_payload(payload)}.json")
         return [record for record in records if record is not None]
 
     def _run_orchestrated(self, points: Sequence[CampaignPoint]) -> List[dict]:
@@ -542,7 +676,8 @@ class CampaignRunner:
 
         result = CampaignOrchestrator(
             self, workers=self.workers, shard=self.shard,
-            trial_chunk=self.trial_chunk, progress=self.progress).run(points)
+            trial_chunk=self.trial_chunk, unit_timeout=self.unit_timeout,
+            progress=self.progress).run(points)
         if not result.complete:
             raise PendingShardError(result.pending, result.report)
         return list(result.records)

@@ -31,8 +31,19 @@ itself), and, when interrupted, resumed for free:
   :meth:`CampaignRunner.run`.
 * **Failures are contained.**  A unit that raises is retried (on any
   worker) up to ``max_attempts`` times; a worker process that dies is
-  detected, its unit re-queued and a replacement forked.  Remaining units
-  keep running either way, and the report records every retry.
+  detected, its unit re-queued and a replacement forked.  Workers emit
+  heartbeats on the results channel while a unit runs, and a watchdog
+  enforces a per-unit soft deadline (``unit_timeout``, or derived from
+  observed unit timings): a *wedged* worker is killed (``SIGTERM``
+  escalating to ``SIGKILL``) and replaced exactly like a crashed one, with
+  exponential backoff between re-attempts of the same unit.  Units that
+  exhaust ``max_attempts`` land on a quarantine list, so the rest of the
+  sweep always completes, and :class:`SweepReport` attributes every
+  failure to a taxonomy class (``crashed`` / ``hung`` / ``poisoned`` /
+  ``cache-corrupt``).  Damaged cache entries are quarantined and recomputed
+  by the campaign layer (:mod:`repro.faults.campaign`) instead of raising.
+  All of these paths are testable deterministically through the chaos
+  harness (:mod:`repro.testing.chaos`).
 
 :class:`CampaignOrchestrator` is not usually constructed by hand:
 ``CampaignRunner(..., workers=K, shard=..., trial_chunk=...)`` routes
@@ -44,16 +55,23 @@ exposes the same knobs (``python -m repro campaign --workers K
 from __future__ import annotations
 
 import dataclasses
+import heapq
 import math
 import multiprocessing
 import os
+import threading
 import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..utils.logging import get_logger
-from ..utils.serialization import load_records
-from .campaign import CampaignPoint, _digest_payload, _store_record
+from .campaign import (
+    _REQUIRED_RECORD_KEYS,
+    CampaignPoint,
+    _digest_payload,
+    load_cached_record,
+    store_record_safe,
+)
 
 __all__ = [
     "CampaignOrchestrator",
@@ -171,7 +189,10 @@ class TaskResult:
 
     ``exception`` carries the original exception object when it survived
     the trip back from the worker (so callers can re-raise with the real
-    type); ``error`` is always a human-readable string.
+    type); ``error`` is always a human-readable string.  ``failure_kind``
+    classifies the *last* failed attempt: ``"poisoned"`` (the task raised),
+    ``"crashed"`` (its worker died) or ``"hung"`` (its worker was killed by
+    the watchdog).
     """
 
     value: object = None
@@ -179,10 +200,41 @@ class TaskResult:
     exception: Optional[BaseException] = None
     attempts: int = 0
     seconds: float = 0.0
+    failure_kind: Optional[str] = None
 
     @property
     def ok(self) -> bool:
         return self.error is None
+
+
+class _SafeProgress:
+    """Guard around a user progress callback.
+
+    A raising callback must never take down the sweep it is observing: the
+    first exception is reported once (with traceback) and the callback is
+    disabled for the remainder of the run.
+    """
+
+    def __init__(self, callback: Callable[[dict], None]) -> None:
+        self._callback = callback
+        self._disabled = False
+
+    def __call__(self, event: dict) -> None:
+        if self._disabled:
+            return
+        try:
+            self._callback(event)
+        except Exception:
+            self._disabled = True
+            logger.exception(
+                "progress callback raised; disabling further progress events")
+
+
+def _safe_progress(progress: Optional[Callable[[dict], None]]
+                   ) -> Optional[Callable[[dict], None]]:
+    if progress is None or isinstance(progress, _SafeProgress):
+        return progress
+    return _SafeProgress(progress)
 
 
 #: Task callable handed to forked workers via copy-on-write memory (set
@@ -190,45 +242,81 @@ class TaskResult:
 _TASK_FN: Optional[Callable[[int], object]] = None
 
 
-class _SyncChannel:
-    """Multi-producer result pipe with synchronous, crash-safe writes.
+class _WorkerChannel:
+    """One worker's result pipe with synchronous, crash-safe sends.
 
-    ``Connection.send`` pickles and writes the whole message (under a
-    shared lock) before returning, so a worker that dies immediately after
-    reporting cannot lose the message -- ``multiprocessing.Queue``'s
-    asynchronous feeder thread would, breaking crash attribution.  Built
-    from documented primitives only (``Pipe``, ``Lock``,
-    ``Connection.poll``); single consumer.
+    ``Connection.send`` pickles and writes the whole message before
+    returning, so a worker that dies immediately after reporting cannot
+    lose the message -- pipe buffers outlive their writer, and
+    ``multiprocessing.Queue``'s asynchronous feeder thread would drop it,
+    breaking crash attribution.  Each worker owns its *own* pipe: a worker
+    killed mid-send (watchdog ``SIGKILL`` can land at any instant) can only
+    truncate its own stream, which the parent reads as EOF and moves past
+    -- it can never wedge its siblings behind a shared channel lock.  The
+    in-process lock only serialises the worker's main thread against its
+    heartbeat thread.
     """
 
     def __init__(self, context) -> None:
-        self._reader, self._writer = context.Pipe(duplex=False)
-        self._lock = context.Lock()
+        self.reader, self._writer = context.Pipe(duplex=False)
+        self._lock = threading.Lock()
 
     def put(self, item) -> None:
         with self._lock:
             self._writer.send(item)
 
-    def poll(self, timeout: float) -> bool:
-        return self._reader.poll(timeout)
+    def close_parent_end(self) -> None:
+        """Drop the parent's copy of the write end (enables EOF detection)."""
 
-    def get(self):
-        return self._reader.recv()
+        self._writer.close()
+
+    def close(self) -> None:
+        try:
+            self.reader.close()
+        except OSError:  # pragma: no cover - double close is fine
+            pass
 
 
-def _pool_worker(task_queue, result_queue) -> None:
+def _heartbeat_loop(result_queue, index: int, stop: threading.Event,
+                    interval: float) -> None:
+    """Emit ``("heartbeat", pid, index, elapsed)`` until ``stop`` is set.
+
+    Runs on a daemon side-thread inside the worker so the parent can tell
+    "alive but slow" from "wedged beyond even its heartbeat thread"
+    (SIGSTOP, channel deadlock) -- the latter trips the stall watchdog.
+    """
+
+    start = time.monotonic()
+    while not stop.wait(interval):
+        try:
+            result_queue.put(("heartbeat", os.getpid(), index,
+                              time.monotonic() - start))
+        except Exception:  # parent gone / channel closed: nothing to report to
+            return
+
+
+def _pool_worker(task_queue, channel: _WorkerChannel,
+                 heartbeat_interval: float) -> None:
     """Worker loop: steal task indices until the ``None`` sentinel arrives."""
 
+    result_queue = channel
     while True:
         index = task_queue.get()
         if index is None:
             return
         result_queue.put(("started", os.getpid(), index))
+        stop = threading.Event()
+        beat = threading.Thread(
+            target=_heartbeat_loop,
+            args=(result_queue, index, stop, heartbeat_interval), daemon=True)
+        beat.start()
         start = time.perf_counter()
         try:
             value = _TASK_FN(index)
         except Exception as exc:  # noqa: BLE001 - reported to the parent
             elapsed = time.perf_counter() - start
+            stop.set()
+            beat.join(timeout=1.0)
             try:
                 result_queue.put(("failed", os.getpid(), index, exc, elapsed))
             except Exception:  # unpicklable exception: fall back to text
@@ -239,15 +327,85 @@ def _pool_worker(task_queue, result_queue) -> None:
             # detects the dead worker and re-queues the task.
             raise
         else:
-            result_queue.put(("done", os.getpid(), index, value,
-                              time.perf_counter() - start))
+            elapsed = time.perf_counter() - start
+            stop.set()
+            beat.join(timeout=1.0)
+            result_queue.put(("done", os.getpid(), index, value, elapsed))
+
+
+def _stop_process(process, *, term_timeout: float = 1.0,
+                  kill_timeout: float = 5.0) -> None:
+    """Stop ``process`` for sure: SIGTERM, then escalate to SIGKILL.
+
+    A worker that ignores (or is too wedged to service) SIGTERM must not be
+    able to stall teardown or the watchdog: after ``term_timeout`` the kill
+    is escalated to an uncatchable SIGKILL with its own bounded join.
+    """
+
+    process.terminate()
+    process.join(timeout=term_timeout)
+    if process.is_alive():
+        process.kill()
+        process.join(timeout=kill_timeout)
+
+
+@dataclasses.dataclass
+class _PoolState:
+    """Mutable bookkeeping shared by the pool's message/watchdog handlers."""
+
+    results: List[TaskResult]
+    pending: set
+    task_queue: object
+    max_attempts: int
+    progress: Optional[Callable[[dict], None]]
+    num_tasks: int
+    retry_backoff: float
+    in_flight: Dict[int, int] = dataclasses.field(default_factory=dict)
+    task_started: Dict[int, float] = dataclasses.field(default_factory=dict)
+    last_beat: Dict[int, float] = dataclasses.field(default_factory=dict)
+    deferred: List[Tuple[float, int]] = dataclasses.field(default_factory=list)
+    observed: List[float] = dataclasses.field(default_factory=list)
+
+    def forget_worker(self, pid: int) -> Optional[int]:
+        self.task_started.pop(pid, None)
+        self.last_beat.pop(pid, None)
+        return self.in_flight.pop(pid, None)
+
+    def requeue(self, index: int) -> Optional[float]:
+        """Schedule a retry of ``index`` with exponential backoff.
+
+        Returns the backoff delay, or ``None`` when attempts are exhausted
+        (the task is then retired as failed -- quarantine is the caller's
+        policy).
+        """
+
+        result = self.results[index]
+        if result.attempts >= self.max_attempts:
+            self.pending.discard(index)
+            return None
+        delay = self.retry_backoff * (2 ** max(0, result.attempts - 1))
+        heapq.heappush(self.deferred, (time.monotonic() + delay, index))
+        return delay
+
+    def release_deferred(self) -> None:
+        now = time.monotonic()
+        while self.deferred and self.deferred[0][0] <= now:
+            _, index = heapq.heappop(self.deferred)
+            if index in self.pending:
+                self.task_queue.put(index)
 
 
 def run_tasks(num_tasks: int, fn: Callable[[int], object], *,
               workers: int = 1, max_attempts: int = 3,
-              progress: Optional[Callable[[dict], None]] = None
+              progress: Optional[Callable[[dict], None]] = None,
+              task_timeout: Optional[float] = None,
+              timeout_factor: float = 10.0,
+              min_timeout: float = 5.0,
+              retry_backoff: float = 0.25,
+              heartbeat_interval: float = 0.2,
+              stall_timeout: float = 30.0,
               ) -> List[TaskResult]:
-    """Run ``fn(0..num_tasks-1)`` on a crash-tolerant work-stealing pool.
+    """Run ``fn(0..num_tasks-1)`` on a crash- and hang-tolerant pool.
 
     Task indices are placed on a shared queue; ``workers`` forked processes
     pull from it as they become idle, so long tasks never serialise behind
@@ -256,6 +414,19 @@ def run_tasks(num_tasks: int, fn: Callable[[int], object], *,
     that dies mid-task is detected, its task re-queued and a replacement
     process forked.  Results are returned in task order; failures are
     recorded per task, never raised -- callers decide the policy.
+
+    **Hang tolerance.**  While a task runs its worker emits heartbeats on
+    the results channel every ``heartbeat_interval`` seconds.  A watchdog
+    kills (SIGTERM escalating to SIGKILL) and replaces a worker whose task
+    exceeds the per-task soft deadline -- ``task_timeout`` when given,
+    otherwise ``max(min_timeout, timeout_factor x`` the longest completed
+    task ``)`` once at least one task has finished -- or whose heartbeats
+    stall for ``stall_timeout`` seconds (a process wedged beyond even its
+    heartbeat thread).  The killed task is re-queued like a crashed one.
+    Every retry (exception, crash or hang) waits ``retry_backoff x
+    2^(attempt-1)`` seconds before re-entering the queue, so a unit that
+    keeps wedging cannot monopolise the pool.  Timings, not arithmetic:
+    none of these knobs can change task results.
 
     ``fn`` is installed in a module global before the fork, so workers
     inherit it (and anything it closes over, e.g. a trained model) through
@@ -275,6 +446,7 @@ def run_tasks(num_tasks: int, fn: Callable[[int], object], *,
     if num_tasks <= 0:
         return results
     workers = max(1, int(workers))
+    progress = _safe_progress(progress)
     context = None
     if workers > 1 and num_tasks > 1:
         try:
@@ -282,67 +454,179 @@ def run_tasks(num_tasks: int, fn: Callable[[int], object], *,
         except ValueError:  # pragma: no cover - non-POSIX platforms
             context = None
     if context is None:
-        _run_tasks_inline(results, fn, max_attempts=max_attempts, progress=progress)
+        _run_tasks_inline(results, fn, max_attempts=max_attempts,
+                          progress=progress, retry_backoff=retry_backoff)
         return results
 
     global _TASK_FN
     _TASK_FN = fn
     task_queue = context.Queue()
-    result_queue = _SyncChannel(context)
     pending = set(range(num_tasks))
     for index in range(num_tasks):
         task_queue.put(index)
     pool_size = min(workers, num_tasks)
 
-    def spawn():
-        process = context.Process(target=_pool_worker,
-                                  args=(task_queue, result_queue), daemon=True)
+    def spawn() -> Tuple[object, _WorkerChannel]:
+        channel = _WorkerChannel(context)
+        process = context.Process(
+            target=_pool_worker,
+            args=(task_queue, channel, heartbeat_interval), daemon=True)
         process.start()
-        return process
+        channel.close_parent_end()
+        return process, channel
 
-    processes = [spawn() for _ in range(pool_size)]
-    in_flight: Dict[int, int] = {}  # worker pid -> task index
+    state = _PoolState(results=results, pending=pending, task_queue=task_queue,
+                       max_attempts=max_attempts, progress=progress,
+                       num_tasks=num_tasks, retry_backoff=retry_backoff)
+    stall_limit = max(float(stall_timeout), 10.0 * heartbeat_interval)
+    processes: List[Optional[object]] = []
+    channels: List[Optional[_WorkerChannel]] = []
+    for _ in range(pool_size):
+        process, channel = spawn()
+        processes.append(process)
+        channels.append(channel)
+
+    def retire(slot: int) -> None:
+        """Replace the worker in ``slot`` (or close it when work is done)."""
+
+        channels[slot].close()
+        if pending:
+            processes[slot], channels[slot] = spawn()
+        else:
+            processes[slot], channels[slot] = None, None
+
+    last_check = time.monotonic()
     try:
         while pending:
-            message = result_queue.get() if result_queue.poll(0.05) else None
-            if message is not None:
-                _handle_pool_message(message, results, pending, in_flight,
-                                     task_queue, max_attempts, progress,
-                                     num_tasks)
+            state.release_deferred()
+            readers = [channel.reader for channel in channels
+                       if channel is not None]
+            for reader in (multiprocessing.connection.wait(readers, timeout=0.05)
+                           if readers else ()):
+                _drain_reader(reader, state)
+            # Watchdog + liveness sweep on a timer, not on queue idleness:
+            # a steady heartbeat stream must never starve hang detection.
+            now = time.monotonic()
+            if now - last_check < 0.1:
                 continue
-            # No message: check worker liveness and replace crashed workers.
+            last_check = now
+            deadline = _effective_deadline(task_timeout, timeout_factor,
+                                           min_timeout, state.observed)
             for slot, process in enumerate(processes):
-                if process is None or process.is_alive():
+                if process is None:
                     continue
-                process.join()
-                _handle_worker_crash(process, results, pending, in_flight,
-                                     task_queue, max_attempts, progress)
-                processes[slot] = spawn() if pending else None
+                if not process.is_alive():
+                    process.join()
+                    # Drain first: a "done" sent just before death must not
+                    # be misclassified as a crash of that task.
+                    _drain_reader(channels[slot].reader, state)
+                    _handle_worker_crash(process, state)
+                    retire(slot)
+                    continue
+                reason = _hang_reason(state, process.pid, now, deadline,
+                                      stall_limit)
+                if reason is not None:
+                    # Drain and re-check: a completion racing the deadline
+                    # wins -- never kill a worker over delivered work.
+                    _drain_reader(channels[slot].reader, state)
+                    reason = _hang_reason(state, process.pid, time.monotonic(),
+                                          deadline, stall_limit)
+                if reason is not None:
+                    _handle_worker_hang(process, state, reason)
+                    retire(slot)
     finally:
         _TASK_FN = None
         for process in processes:
             if process is not None and process.is_alive():
                 task_queue.put(None)
-        deadline = time.monotonic() + 5.0
-        for process in processes:
+        shutdown_deadline = time.monotonic() + 5.0
+        for slot, process in enumerate(processes):
             if process is None:
                 continue
-            process.join(timeout=max(0.0, deadline - time.monotonic()))
+            process.join(timeout=max(0.0, shutdown_deadline - time.monotonic()))
             if process.is_alive():  # pragma: no cover - defensive shutdown
-                process.terminate()
-                process.join(timeout=1.0)
+                # SIGTERM escalating to SIGKILL: teardown must never hang
+                # behind a worker that ignores the polite signal.
+                _stop_process(process)
+            if channels[slot] is not None:
+                channels[slot].close()
         task_queue.close()
     return results
 
 
+def _drain_reader(reader, state: _PoolState) -> None:
+    """Handle every message already buffered on one worker's pipe.
+
+    EOF / truncated trailing bytes (the worker died or was killed mid-send)
+    end the drain quietly -- the liveness sweep owns dead-worker handling.
+    """
+
+    while True:
+        try:
+            if not reader.poll(0):
+                return
+            message = reader.recv()
+        except (EOFError, OSError):
+            return
+        _handle_pool_message(message, state)
+
+
+def _effective_deadline(task_timeout: Optional[float], timeout_factor: float,
+                        min_timeout: float,
+                        observed: Sequence[float]) -> Optional[float]:
+    """The per-task soft deadline currently in force.
+
+    An explicit ``task_timeout`` always wins.  Otherwise the deadline is
+    derived from observed behaviour -- ``timeout_factor`` times the longest
+    completed task, floored at ``min_timeout`` -- and is ``None`` (no
+    enforcement) until the first task completes, since there is nothing to
+    derive it from yet.
+    """
+
+    if task_timeout is not None:
+        return float(task_timeout)
+    if not observed:
+        return None
+    return max(float(min_timeout), float(timeout_factor) * max(observed))
+
+
+def _hang_reason(state: _PoolState, pid: int, now: float,
+                 deadline: Optional[float],
+                 stall_limit: float) -> Optional[str]:
+    """Why worker ``pid`` should be treated as hung (None = healthy)."""
+
+    index = state.in_flight.get(pid)
+    started = state.task_started.get(pid)
+    if index is None or started is None:
+        return None
+    elapsed = now - started
+    if deadline is not None and elapsed > deadline:
+        return (f"task {index} exceeded the {deadline:.2f}s soft deadline "
+                f"(ran {elapsed:.2f}s)")
+    beat_age = now - max(state.last_beat.get(pid, started), started)
+    if beat_age > stall_limit:
+        return (f"task {index} heartbeats stalled for {beat_age:.2f}s "
+                f"(limit {stall_limit:.2f}s)")
+    return None
+
+
 def _run_tasks_inline(results: List[TaskResult], fn: Callable[[int], object], *,
                       max_attempts: int,
-                      progress: Optional[Callable[[dict], None]]) -> None:
-    """Serial fallback with the pool's retry-and-continue semantics."""
+                      progress: Optional[Callable[[dict], None]],
+                      retry_backoff: float = 0.25) -> None:
+    """Serial fallback with the pool's retry-and-continue semantics.
 
+    Timeouts cannot be enforced in-process (there is no worker to kill), but
+    retries keep the pool's exponential backoff so failure behaviour stays
+    comparable across both paths.
+    """
+
+    progress = _safe_progress(progress)
     for index in range(len(results)):
         result = results[index]
         while result.attempts < max_attempts:
+            if result.attempts:
+                time.sleep(retry_backoff * (2 ** (result.attempts - 1)))
             result.attempts += 1
             start = time.perf_counter()
             try:
@@ -353,12 +637,15 @@ def _run_tasks_inline(results: List[TaskResult], fn: Callable[[int], object], *,
                 # cached, so a re-run resumes).
                 result.exception = exc
                 result.error = f"{type(exc).__name__}: {exc}"
+                result.failure_kind = "poisoned"
                 result.seconds = time.perf_counter() - start
                 _emit(progress, kind="task-failed", index=index,
-                      attempt=result.attempts, error=result.error)
+                      attempt=result.attempts, error=result.error,
+                      reason="poisoned")
             else:
                 result.error = None
                 result.exception = None
+                result.failure_kind = None
                 result.seconds = time.perf_counter() - start
                 _emit(progress, kind="task-done", index=index,
                       attempt=result.attempts, seconds=result.seconds)
@@ -370,29 +657,34 @@ def _emit(progress: Optional[Callable[[dict], None]], **event) -> None:
         progress(event)
 
 
-def _handle_pool_message(message: tuple, results: List[TaskResult],
-                         pending: set, in_flight: Dict[int, int],
-                         task_queue, max_attempts: int,
-                         progress: Optional[Callable[[dict], None]],
-                         num_tasks: int) -> None:
+def _handle_pool_message(message: tuple, state: _PoolState) -> None:
     kind, pid, index = message[0], message[1], message[2]
-    if kind == "started":
-        if index in pending:
-            in_flight[pid] = index
-            results[index].attempts += 1
+    now = time.monotonic()
+    if kind == "heartbeat":
+        state.last_beat[pid] = now
         return
-    in_flight.pop(pid, None)
-    if index not in pending:
+    if kind == "started":
+        if index in state.pending:
+            state.in_flight[pid] = index
+            state.task_started[pid] = now
+            state.last_beat[pid] = now
+            state.results[index].attempts += 1
+        return
+    state.forget_worker(pid)
+    if index not in state.pending:
         return  # duplicate delivery after a defensive re-queue
-    result = results[index]
+    result = state.results[index]
     if kind == "done":
         _, _, _, value, seconds = message
         result.value, result.error, result.seconds = value, None, seconds
         result.exception = None
-        pending.discard(index)
-        _emit(progress, kind="task-done", index=index, attempt=result.attempts,
-              seconds=seconds, completed=num_tasks - len(pending),
-              total=num_tasks)
+        result.failure_kind = None
+        state.pending.discard(index)
+        state.observed.append(seconds)
+        _emit(state.progress, kind="task-done", index=index,
+              attempt=result.attempts, seconds=seconds,
+              completed=state.num_tasks - len(state.pending),
+              total=state.num_tasks)
     elif kind == "failed":
         _, _, _, failure, seconds = message
         if isinstance(failure, BaseException):
@@ -402,38 +694,55 @@ def _handle_pool_message(message: tuple, results: List[TaskResult],
             result.exception = None
             result.error = failure
         result.seconds = seconds
-        _emit(progress, kind="task-failed", index=index,
-              attempt=result.attempts, error=result.error)
-        if result.attempts >= max_attempts:
-            pending.discard(index)
-        else:
-            task_queue.put(index)
+        result.failure_kind = "poisoned"
+        delay = state.requeue(index)
+        _emit(state.progress, kind="task-failed", index=index,
+              attempt=result.attempts, error=result.error, reason="poisoned",
+              retry_delay=delay)
 
 
-def _handle_worker_crash(process, results: List[TaskResult], pending: set,
-                         in_flight: Dict[int, int], task_queue,
-                         max_attempts: int,
-                         progress: Optional[Callable[[dict], None]]) -> None:
-    index = in_flight.pop(process.pid, None)
-    _emit(progress, kind="worker-crash", pid=process.pid,
-          exitcode=process.exitcode, index=index)
+def _handle_worker_crash(process, state: _PoolState) -> None:
+    index = state.forget_worker(process.pid)
     logger.warning("worker %s died (exit %s) while running task %s",
                    process.pid, process.exitcode, index)
-    if index is not None and index in pending:
-        result = results[index]
+    delay = None
+    if index is not None and index in state.pending:
+        result = state.results[index]
         result.error = f"worker died (exit {process.exitcode})"
         result.exception = None
-        if result.attempts >= max_attempts:
-            pending.discard(index)
-        else:
-            task_queue.put(index)
+        result.failure_kind = "crashed"
+        delay = state.requeue(index)
     elif index is None:
         # The worker died between dequeuing a task and announcing it: the
         # task vanished from the queue without a trace.  Re-queue every
         # unresolved task not known to be running; duplicates are harmless
         # because completed indices are ignored on delivery.
-        for orphan in sorted(pending - set(in_flight.values())):
-            task_queue.put(orphan)
+        for orphan in sorted(state.pending - set(state.in_flight.values())):
+            state.task_queue.put(orphan)
+    _emit(state.progress, kind="worker-crash", pid=process.pid,
+          exitcode=process.exitcode, index=index, reason="crashed",
+          retry_delay=delay)
+
+
+def _handle_worker_hang(process, state: _PoolState, reason: str) -> None:
+    """Kill a wedged worker and reschedule its task like a crashed one."""
+
+    pid = process.pid
+    index = state.forget_worker(pid)
+    logger.warning("worker %s judged hung (%s); killing and replacing it",
+                   pid, reason)
+    _stop_process(process)
+    delay = None
+    attempt = None
+    if index is not None and index in state.pending:
+        result = state.results[index]
+        result.error = f"worker hung: {reason}"
+        result.exception = None
+        result.failure_kind = "hung"
+        attempt = result.attempts
+        delay = state.requeue(index)
+    _emit(state.progress, kind="worker-hung", pid=pid, index=index,
+          attempt=attempt, error=reason, reason="hung", retry_delay=delay)
 
 
 def pool_map(fn: Callable, items: Sequence, *, workers: int = 1,
@@ -458,10 +767,18 @@ def pool_map(fn: Callable, items: Sequence, *, workers: int = 1,
         detail = "; ".join(f"item {index}: {result.error}"
                            for index, result in failures)
         logger.error("%d grid task(s) failed: %s", len(failures), detail)
-        first = failures[0][1]
+        first_index, first = failures[0]
+        context = (f"grid task {first_index}/{len(items)} failed after "
+                   f"{first.attempts} attempt(s)")
         if first.exception is not None:
-            raise first.exception
-        raise RuntimeError(f"{len(failures)} grid task(s) failed: {detail}")
+            # Prefix the task index / attempt count onto the original
+            # exception (same type) so grid-cell failures are attributable
+            # from the traceback alone.
+            exc = first.exception
+            exc.args = (f"{context}: {exc}",)
+            raise exc
+        raise RuntimeError(f"{context}: {first.error} "
+                           f"({len(failures)} grid task(s) failed: {detail})")
     return [result.value for result in results]
 
 
@@ -475,6 +792,16 @@ class SweepReport:
     ``unit_seconds`` holds per-unit wall-clock of the computed units (keyed
     by ordinal); ``retries`` counts every extra attempt beyond the first,
     whether caused by an exception or a dead worker.
+
+    **Failure taxonomy.**  Every recovery action is attributed to a class
+    and tallied: ``poisoned`` (a unit raised), ``crashed`` (a worker died
+    mid-unit), ``hung`` (the watchdog killed a wedged worker),
+    ``cache_corrupt`` (a damaged cache entry was quarantined and the unit
+    recomputed) and ``store_degraded`` (a record could not be written --
+    e.g. ``ENOSPC`` -- and the sweep continued uncached).  ``events``
+    preserves the individual occurrences (dicts with at least ``kind`` and,
+    where known, ``ordinal``); ``quarantined`` lists unit ordinals retired
+    after exhausting ``max_attempts``.
     """
 
     total_units: int = 0
@@ -485,6 +812,30 @@ class SweepReport:
     retries: int = 0
     elapsed_seconds: float = 0.0
     unit_seconds: Dict[int, float] = dataclasses.field(default_factory=dict)
+    poisoned: int = 0
+    crashed: int = 0
+    hung: int = 0
+    cache_corrupt: int = 0
+    store_degraded: int = 0
+    quarantined: List[int] = dataclasses.field(default_factory=list)
+    events: List[dict] = dataclasses.field(default_factory=list)
+
+    def record_event(self, event: dict) -> None:
+        """Tally ``event`` into the taxonomy counters and keep it."""
+
+        kind = event.get("kind", "")
+        reason = event.get("reason")
+        if reason == "poisoned":
+            self.poisoned += 1
+        elif reason == "crashed":
+            self.crashed += 1
+        elif reason == "hung":
+            self.hung += 1
+        elif kind == "cache-corrupt":
+            self.cache_corrupt += 1
+        elif kind == "store-degraded":
+            self.store_degraded += 1
+        self.events.append(dict(event))
 
     def summary(self) -> dict:
         """Flat JSON-friendly summary (suitable for logs and tables)."""
@@ -499,6 +850,12 @@ class SweepReport:
             "retries": self.retries,
             "elapsed_seconds": self.elapsed_seconds,
             "mean_unit_seconds": (sum(computed) / len(computed)) if computed else 0.0,
+            "poisoned": self.poisoned,
+            "crashed": self.crashed,
+            "hung": self.hung,
+            "cache_corrupt": self.cache_corrupt,
+            "store_degraded": self.store_degraded,
+            "quarantined": list(self.quarantined),
         }
 
 
@@ -562,12 +919,27 @@ class CampaignOrchestrator:
         cache directory on the runner (the shared filesystem is the only
         channel between shards).
     max_attempts:
-        Attempts per unit before it is reported as failed (exceptions and
-        worker deaths both consume attempts).
+        Attempts per unit before it is reported as failed (exceptions,
+        worker deaths and watchdog kills all consume attempts).
+    unit_timeout:
+        Optional per-unit soft deadline in seconds enforced by the pool
+        watchdog (CLI: ``--unit-timeout``).  ``None`` (default) derives the
+        deadline from observed unit timings instead.
+    retry_backoff:
+        Base of the exponential backoff (``retry_backoff x 2^(attempt-1)``
+        seconds) between re-attempts of the same unit.
+    on_exhausted:
+        Policy for units that exhaust ``max_attempts``: ``"raise"``
+        (default) raises ``RuntimeError`` after every other unit has
+        finished; ``"quarantine"`` retires them onto
+        :attr:`SweepReport.quarantined` and completes the sweep without
+        their records (affected points stay ``None`` / pending).
     progress:
         Optional callable receiving structured event dicts
-        (``unit-done`` / ``unit-failed`` / ``worker-crash``) with per-unit
-        timing and an ETA estimate; called in the parent process only.
+        (``unit-done`` / ``unit-failed`` / ``worker-crash`` /
+        ``worker-hung`` / ``cache-corrupt`` / ``store-degraded``) with
+        per-unit timing and an ETA estimate; called in the parent process
+        only.  A raising callback is reported once and disabled.
     unit_hook:
         Test/diagnostic callable invoked with each :class:`WorkUnit` inside
         the worker immediately before evaluation.
@@ -577,6 +949,9 @@ class CampaignOrchestrator:
                  trial_chunk: Optional[int] = None,
                  shard: Optional[Union[str, ShardSpec]] = None,
                  max_attempts: int = 3,
+                 unit_timeout: Optional[float] = None,
+                 retry_backoff: float = 0.25,
+                 on_exhausted: str = "raise",
                  progress: Optional[Callable[[dict], None]] = None,
                  unit_hook: Optional[Callable[[WorkUnit], None]] = None) -> None:
         self.runner = runner
@@ -584,10 +959,19 @@ class CampaignOrchestrator:
         self.trial_chunk = trial_chunk
         self.shard = None if shard is None else ShardSpec.parse(shard)
         self.max_attempts = int(max_attempts)
-        self.progress = progress
+        self.unit_timeout = None if unit_timeout is None else float(unit_timeout)
+        self.retry_backoff = float(retry_backoff)
+        self.on_exhausted = str(on_exhausted)
+        self.progress = _safe_progress(progress)
         self.unit_hook = unit_hook
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be at least 1")
+        if self.unit_timeout is not None and self.unit_timeout <= 0:
+            raise ValueError("unit_timeout must be positive")
+        if self.on_exhausted not in ("raise", "quarantine"):
+            raise ValueError(
+                f"on_exhausted must be 'raise' or 'quarantine'; "
+                f"got {self.on_exhausted!r}")
         if self.shard is not None and runner.cache_dir is None:
             raise ValueError(
                 "sharded sweeps need a shared cache_dir: the on-disk unit "
@@ -606,43 +990,74 @@ class CampaignOrchestrator:
         # identity is the whole resume/coordination protocol.
         return self._point_path(unit.point)
 
-    def _load_cached(self, path: Optional[Path]) -> Optional[dict]:
-        if path is None or not path.exists():
+    def _load_cached(self, path: Optional[Path],
+                     on_event: Optional[Callable[[dict], None]] = None
+                     ) -> Optional[dict]:
+        """Validated cache read; damaged entries quarantine to ``None``."""
+
+        if path is None:
             return None
-        return load_records(path)
+        return load_cached_record(path, required_keys=_REQUIRED_RECORD_KEYS,
+                                  on_event=on_event)
 
     # ------------------------------------------------------------------
     # Unit evaluation (runs inside workers)
     # ------------------------------------------------------------------
-    def _compute_unit(self, unit: WorkUnit) -> Tuple[str, dict]:
+    def _compute_unit(self, unit: WorkUnit) -> Tuple[str, dict, List[dict]]:
         """Evaluate one unit, cooperating with concurrent orchestrators.
 
         Re-checks the cache immediately before simulating: on a shared
         filesystem another orchestrator may have materialised the unit
         since this run planned it, in which case its record is adopted.
+        A damaged cache entry is quarantined and the unit recomputed; a
+        failed store degrades to an uncached result.  Either incident is
+        returned as a picklable event dict (third element) so the parent
+        can attribute it in the :class:`SweepReport` -- this method runs
+        inside workers, where the report does not live.
         """
+
+        from ..testing.chaos import active_plan
+
+        events: List[dict] = []
+
+        def note(event: dict) -> None:
+            events.append(dict(event, ordinal=unit.ordinal,
+                               point_index=unit.point_index))
 
         if self.unit_hook is not None:
             self.unit_hook(unit)
+        plan = active_plan()
+        if plan is not None:
+            plan.consult("unit", key=unit.ordinal)
         path = self._unit_path(unit)
-        record = self._load_cached(path)
+        record = self._load_cached(path, on_event=note)
         if record is not None:
-            return "cached", record
+            return "cached", record, events
         record = self.runner._evaluate_point(unit.point)
         if path is not None:
-            _store_record(record, path)
-        return "computed", record
+            store_record_safe(record, path, on_event=note)
+        return "computed", record, events
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def _note_event(self, report: SweepReport, event: dict) -> None:
+        """Attribute ``event`` in the report and forward it to progress."""
+
+        report.record_event(event)
+        if self.progress is not None:
+            self.progress(dict(event))
+
     def run(self, points: Sequence[CampaignPoint]) -> OrchestratorResult:
         """Evaluate (this shard's share of) ``points`` and merge records.
 
         Returns records aligned with ``points``; entries owned by other,
         unfinished shards are ``None`` and listed in ``pending``.  Units
         that fail after ``max_attempts`` raise a ``RuntimeError`` -- after
-        every other unit has finished and been cached, so no work is lost.
+        every other unit has finished and been cached, so no work is lost
+        -- unless ``on_exhausted="quarantine"``, in which case they are
+        retired onto ``report.quarantined`` and the sweep completes with
+        their points pending.
         """
 
         start = time.monotonic()
@@ -650,6 +1065,7 @@ class CampaignOrchestrator:
         units = self.plan_units(points)
         report = SweepReport(total_units=len(units))
         records: List[Optional[dict]] = [None] * len(points)
+        note = lambda event: self._note_event(report, event)  # noqa: E731
 
         # Points whose full-grid record is already cached need no units at
         # all -- this is what makes plain CampaignRunner caches prime the
@@ -657,7 +1073,7 @@ class CampaignOrchestrator:
         done_points = set()
         if self.runner.cache_dir is not None:
             for index, point in enumerate(points):
-                cached = self._load_cached(self._point_path(point))
+                cached = self._load_cached(self._point_path(point), on_event=note)
                 if cached is not None:
                     records[index] = cached
                     done_points.add(index)
@@ -672,7 +1088,7 @@ class CampaignOrchestrator:
         unit_records: Dict[int, dict] = {}
         to_compute: List[WorkUnit] = []
         for unit in owned:
-            cached = self._load_cached(self._unit_path(unit))
+            cached = self._load_cached(self._unit_path(unit), on_event=note)
             if cached is not None:
                 unit_records[unit.ordinal] = cached
                 report.cached_units += 1
@@ -682,15 +1098,20 @@ class CampaignOrchestrator:
         failures = self._execute(to_compute, unit_records, report)
         self._assemble(points, units, done_points, unit_records, records,
                        report)
+        report.quarantined = sorted(ordinal for ordinal, _ in failures)
         report.elapsed_seconds = time.monotonic() - start
         logger.info("orchestrated sweep: %s", report.summary())
-        if failures:
+        if failures and self.on_exhausted == "raise":
             detail = "; ".join(f"unit {ordinal} (point {units[ordinal].point_index}"
                                f", chunk {units[ordinal].chunk_index}): {error}"
                                for ordinal, error in failures)
             raise RuntimeError(
                 f"{len(failures)} work unit(s) failed after "
                 f"{self.max_attempts} attempt(s): {detail}")
+        if failures:
+            logger.warning(
+                "quarantined %d work unit(s) after %d attempt(s): %s",
+                len(failures), self.max_attempts, report.quarantined)
         pending = [index for index in range(len(points))
                    if records[index] is None]
         return OrchestratorResult(records=records, pending=pending, report=report)
@@ -713,12 +1134,17 @@ class CampaignOrchestrator:
 
         def forward_progress(event: dict) -> None:
             kind = event.get("kind", "")
-            if kind.startswith("task"):
-                task_index = event.get("index")
-                unit = to_compute[task_index]
-                event = dict(event, kind=kind.replace("task", "unit"),
-                             ordinal=unit.ordinal, point_index=unit.point_index,
-                             chunk_index=unit.chunk_index)
+            index = event.get("index")
+            if kind.startswith("task") or index is not None:
+                # Translate pool task indices into sweep ordinals -- both
+                # for unit events and for worker-crash/worker-hung events
+                # that name the task the dead worker was running.
+                unit = to_compute[index] if index is not None else None
+                event = dict(event, kind=kind.replace("task", "unit"))
+                if unit is not None:
+                    event.update(ordinal=unit.ordinal,
+                                 point_index=unit.point_index,
+                                 chunk_index=unit.chunk_index)
                 event.pop("index", None)
                 if kind == "task-done" and event.get("seconds") is not None:
                     seconds_seen.append(event["seconds"])
@@ -727,13 +1153,16 @@ class CampaignOrchestrator:
                     event["eta_seconds"] = (remaining * average
                                             / max(1, min(self.workers,
                                                          len(to_compute))))
+            if event.get("reason") in ("poisoned", "crashed", "hung"):
+                report.record_event(event)
             if self.progress is not None:
                 self.progress(event)
 
         results = run_tasks(
             len(to_compute), lambda index: self._compute_unit(to_compute[index]),
             workers=self.workers, max_attempts=self.max_attempts,
-            progress=forward_progress)
+            progress=forward_progress, task_timeout=self.unit_timeout,
+            retry_backoff=self.retry_backoff)
 
         failures: List[Tuple[int, str]] = []
         for unit, result in zip(to_compute, results):
@@ -742,7 +1171,9 @@ class CampaignOrchestrator:
                 failures.append((unit.ordinal, result.error))
                 report.failed_units.append((unit.ordinal, result.error))
                 continue
-            status, record = result.value
+            status, record, events = result.value
+            for event in events:
+                self._note_event(report, event)
             unit_records[unit.ordinal] = record
             if status == "cached":
                 report.cached_units += 1
@@ -791,7 +1222,9 @@ class CampaignOrchestrator:
             for unit in units_by_point[index]:
                 record = unit_records.get(unit.ordinal)
                 if record is None:  # not owned: look for another shard's work
-                    record = self._load_cached(self._unit_path(unit))
+                    record = self._load_cached(
+                        self._unit_path(unit),
+                        on_event=lambda event: self._note_event(report, event))
                 if record is None:
                     chunk_records = []
                     break
@@ -806,4 +1239,6 @@ class CampaignOrchestrator:
                 # runners (and full-point lookups) hit the cache directly.
                 path = self._point_path(point)
                 if path is not None and not path.exists():
-                    _store_record(records[index], path)
+                    store_record_safe(
+                        records[index], path,
+                        on_event=lambda event: self._note_event(report, event))

@@ -1,0 +1,30 @@
+"""Deterministic failure-injection utilities for robustness testing.
+
+The campaign runtime promises to degrade gracefully under worker crashes,
+worker hangs, slow units, corrupt cache entries and full disks.  This
+package provides the harness that *proves* those guarantees instead of
+asserting them: :class:`~repro.testing.chaos.ChaosPlan` describes a seeded,
+reproducible set of failures which the orchestrator and the campaign cache
+consult at well-defined hook points (see ``docs/ARCHITECTURE.md``,
+"Failure modes and guarantees").
+"""
+
+from .chaos import (
+    CHAOS_ENV_VAR,
+    ChaosError,
+    ChaosPlan,
+    ChaosRule,
+    active_plan,
+    clear_plan,
+    install_plan,
+)
+
+__all__ = [
+    "CHAOS_ENV_VAR",
+    "ChaosError",
+    "ChaosPlan",
+    "ChaosRule",
+    "active_plan",
+    "clear_plan",
+    "install_plan",
+]

@@ -240,3 +240,87 @@ class TestHelpers:
 
 def _double(x):
     return x * 2
+
+
+class TestCacheSelfHealing:
+    """`cached_record` heals damaged entries instead of raising."""
+
+    @staticmethod
+    def _entry(cache_dir, payload):
+        from repro.faults.campaign import _digest_payload
+
+        return cache_dir / f"{_digest_payload(payload)}.json"
+
+    def _prime(self, cache_dir, payload, calls):
+        def compute():
+            calls.append(1)
+            return {"value": 42, "trials": 1}
+
+        return cached_record(cache_dir, payload, compute,
+                             required_keys=("value", "trials"))
+
+    @pytest.mark.parametrize("damage", ["truncate", "garbage", "non-dict",
+                                        "missing-key"])
+    def test_damaged_entry_quarantined_and_recomputed(self, tmp_path, damage):
+        calls = []
+        payload = {"key": f"heal-{damage}"}
+        self._prime(tmp_path, payload, calls)
+        entry = self._entry(tmp_path, payload)
+        if damage == "truncate":
+            entry.write_bytes(entry.read_bytes()[: entry.stat().st_size // 2])
+        elif damage == "garbage":
+            entry.write_bytes(b"\x00\xff{{{not json")
+        elif damage == "non-dict":
+            entry.write_text("[1, 2, 3]")
+        else:
+            entry.write_text('{"value": 42}')  # parses, but lost "trials"
+
+        events = []
+
+        def compute():
+            calls.append(1)
+            return {"value": 42, "trials": 1}
+
+        record = cached_record(tmp_path, payload, compute,
+                               required_keys=("value", "trials"),
+                               on_event=events.append)
+        assert record == {"value": 42, "trials": 1}
+        assert len(calls) == 2  # damaged hit recomputed
+        assert [event["kind"] for event in events] == ["cache-corrupt"]
+        sidecar = entry.with_name(entry.name + ".quarantined")
+        assert sidecar.exists()  # damaged bytes kept for inspection
+        # The healed entry is a clean hit again.
+        assert cached_record(tmp_path, payload, compute,
+                             required_keys=("value", "trials")) == record
+        assert len(calls) == 2
+
+    def test_load_cached_record_missing_path_is_a_miss(self, tmp_path):
+        from repro.faults import load_cached_record
+
+        assert load_cached_record(tmp_path / "absent.json") is None
+
+    def test_store_failure_degrades_to_uncached(self, tmp_path, monkeypatch):
+        import errno
+        import os as _os
+
+        from repro.faults import store_record_safe
+
+        def full_disk(*args, **kwargs):
+            raise OSError(errno.ENOSPC, "no space left on device")
+
+        monkeypatch.setattr(_os, "replace", full_disk)
+        events = []
+        path = tmp_path / "record.json"
+        assert store_record_safe({"value": 1}, path,
+                                 on_event=events.append) is False
+        assert not path.exists()
+        assert [event["kind"] for event in events] == ["store-degraded"]
+        assert not list(tmp_path.glob("*.tmp*"))  # staged temp cleaned up
+
+    def test_store_record_safe_success_round_trips(self, tmp_path):
+        from repro.faults import load_cached_record, store_record_safe
+
+        path = tmp_path / "record.json"
+        assert store_record_safe({"value": 3, "trials": 1}, path) is True
+        assert load_cached_record(path, required_keys=("value",)) \
+            == {"value": 3, "trials": 1}

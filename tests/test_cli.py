@@ -82,6 +82,19 @@ class TestCampaignCommand:
             ["run", "fig5b", "--engine", "sequential", "--workers", "2"])
         assert args.engine == "sequential" and args.workers == 2
 
+    def test_unit_timeout_flag_parses_and_threads_through(self):
+        from repro.cli import _engine_kwargs_for
+        from repro.faults import sweep_faulty_pe_count
+
+        args = build_parser().parse_args(
+            ["campaign", "counts", "--unit-timeout", "15", "--workers", "2"])
+        assert args.unit_timeout == 15.0
+        kwargs = _engine_kwargs_for(sweep_faulty_pe_count, args)
+        assert kwargs["unit_timeout"] == 15.0
+        # Default: no deadline override (derived from observed timings).
+        args = build_parser().parse_args(["campaign", "counts"])
+        assert args.unit_timeout is None
+
     def test_campaign_counts_end_to_end(self, tmp_path, capsys):
         out_file = tmp_path / "campaign.json"
         code = main(["campaign", "counts", "--dataset", "mnist", "--seed", "13",

@@ -61,10 +61,12 @@ class TestDocCommandsParse:
 
         args = build_parser().parse_args(
             ["campaign", "counts", "--workers", "2", "--shard", "0/2",
-             "--trial-chunk", "1", "--resume", "--cache-dir", "x"])
+             "--trial-chunk", "1", "--unit-timeout", "30", "--resume",
+             "--cache-dir", "x"])
         assert args.workers == 2
         assert (args.shard.index, args.shard.total) == (0, 2)
         assert args.trial_chunk == 1
+        assert args.unit_timeout == 30.0
         assert args.resume is True
 
 

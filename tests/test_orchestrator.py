@@ -325,3 +325,140 @@ class TestSweepIntegration:
             cache_dir=tmp_path, **kwargs)
         assert canonical(orchestrated) == canonical(serial)
         assert orchestrated[0]["num_faulty_pes"] == 0  # baseline row intact
+
+
+class TestHangTolerance:
+    def test_watchdog_kills_sleeping_task(self):
+        import time
+
+        def fn(index):
+            if index == 1:
+                time.sleep(60)
+            return index
+
+        events = []
+        results = run_tasks(3, fn, workers=3, task_timeout=1.0,
+                            max_attempts=2, retry_backoff=0.05,
+                            progress=events.append)
+        assert results[0].ok and results[2].ok
+        assert not results[1].ok
+        assert results[1].failure_kind == "hung"
+        assert "deadline" in results[1].error
+        hangs = [event for event in events if event["kind"] == "worker-hung"]
+        assert hangs and hangs[0]["index"] == 1
+        assert hangs[0]["reason"] == "hung"
+
+    def test_hung_task_recovers_on_retry(self, tmp_path):
+        import time
+
+        latch = tmp_path / "hung-once"
+
+        def fn(index):
+            if index == 1 and not latch.exists():
+                latch.touch()
+                time.sleep(60)
+            return index * 10
+
+        results = run_tasks(3, fn, workers=2, task_timeout=1.5,
+                            max_attempts=3, retry_backoff=0.05)
+        assert [result.value for result in results] == [0, 10, 20]
+        assert results[1].attempts == 2
+        assert results[1].ok and results[1].failure_kind is None
+
+    def test_uninterruptible_hang_is_killed_by_escalation(self):
+        import signal
+        import time
+
+        def fn(index):
+            if index == 1:
+                # A worker too wedged to service SIGTERM: only the
+                # escalation to SIGKILL can stop it.
+                signal.signal(signal.SIGTERM, signal.SIG_IGN)
+                time.sleep(60)
+            return index
+
+        results = run_tasks(2, fn, workers=2, task_timeout=1.0,
+                            max_attempts=1)
+        assert results[0].ok
+        assert results[1].failure_kind == "hung"
+
+    def test_retry_backoff_grows_exponentially(self):
+        def fn(index):
+            raise ValueError("always broken")
+
+        events = []
+        run_tasks(2, fn, workers=2, max_attempts=3, retry_backoff=0.05,
+                  progress=events.append)
+        delays = [event["retry_delay"] for event in events
+                  if event["kind"] == "task-failed" and event.get("index") == 0
+                  and event.get("retry_delay") is not None]
+        assert delays == [0.05, 0.1]
+
+    def test_raising_progress_callback_is_disabled_not_fatal(self):
+        calls = []
+
+        def bad_progress(event):
+            calls.append(event)
+            raise RuntimeError("observer broke")
+
+        results = run_tasks(4, lambda index: index, workers=2,
+                            progress=bad_progress)
+        assert all(result.ok for result in results)
+        assert len(calls) == 1  # reported once, then disabled
+
+    def test_pool_map_attributes_index_and_attempts(self):
+        def fn(item):
+            if item == "bad":
+                raise ValueError("broken cell")
+            return item
+
+        with pytest.raises(ValueError) as excinfo:
+            pool_map(fn, ["ok", "bad"], workers=2, max_attempts=2)
+        message = str(excinfo.value)
+        assert "grid task 1/2 failed after 2 attempt(s)" in message
+        assert "broken cell" in message
+        # Serial fallback carries the same attribution.
+        with pytest.raises(ValueError, match=r"grid task 1/2 failed after"):
+            pool_map(fn, ["ok", "bad"], workers=1, max_attempts=2)
+
+
+class TestQuarantine:
+    def test_quarantine_mode_completes_sweep_without_raising(
+            self, trained_tiny_model, eval_loader, tmp_path):
+        def poison(unit):
+            if unit.ordinal == 1:
+                raise ValueError("poisoned unit")
+
+        runner = CampaignRunner(trained_tiny_model, eval_loader,
+                                cache_dir=tmp_path)
+        orchestrator = CampaignOrchestrator(
+            runner, workers=1, max_attempts=2, retry_backoff=0.05,
+            on_exhausted="quarantine", unit_hook=poison)
+        result = orchestrator.run(make_points())
+        assert not result.complete
+        assert result.pending == [1]
+        assert result.records[0] is not None and result.records[2] is not None
+        assert result.records[1] is None
+        assert result.report.quarantined == [1]
+        assert result.report.poisoned == 2  # both attempts attributed
+        assert len(list(tmp_path.glob("*.json"))) == 2
+
+    def test_raise_mode_still_reports_quarantined_ordinals(
+            self, trained_tiny_model, eval_loader):
+        def poison(unit):
+            if unit.ordinal == 0:
+                raise ValueError("poisoned unit")
+
+        runner = CampaignRunner(trained_tiny_model, eval_loader)
+        orchestrator = CampaignOrchestrator(runner, workers=1, max_attempts=2,
+                                            retry_backoff=0.05,
+                                            unit_hook=poison)
+        with pytest.raises(RuntimeError, match="poisoned unit"):
+            orchestrator.run(make_points())
+
+    def test_invalid_policies_rejected(self, trained_tiny_model, eval_loader):
+        runner = CampaignRunner(trained_tiny_model, eval_loader)
+        with pytest.raises(ValueError, match="on_exhausted"):
+            CampaignOrchestrator(runner, on_exhausted="retry-forever")
+        with pytest.raises(ValueError, match="unit_timeout"):
+            CampaignOrchestrator(runner, unit_timeout=0.0)
