@@ -8,9 +8,11 @@ reports:
   the fused engine's speedup over the batched autograd engine,
 * the fused engine's machine-relative ratios for the chain fast path vs
   the untiled reference, prefix-level batching vs per-group application,
-  and 2 fork lanes vs 1 (the bit-safe intra-sweep parallelism knob),
+  2 fork lanes vs 1 (the bit-safe intra-sweep parallelism knob), and the
+  stuck-at sweep vs the same sweep under transient (SEU) schedules,
 * that all engines produce **identical** records (same accuracies, same
-  seeds -- the float64 bit-identity guarantee),
+  seeds -- the float64 bit-identity guarantee), including the transient
+  sweep (phase-aware fused engine vs the per-schedule sequential oracle),
 * the on-disk cache: a warm re-run answers from JSON without simulating,
 * the sharded orchestrator: a 2-worker chunked sweep produces byte-identical
   records and a resumed sweep answers from the unit cache.
@@ -92,13 +94,18 @@ def run_sweep(model, loader, engine, cache_dir=None, dtype="float64", repeats=1)
     return records, best
 
 
+#: Transient-schedule parameters for the transient benchmark rows; the
+#: step count matches the micro-model's ``time_steps``.
+TRANSIENT_PARAMS = {"process": "bernoulli", "num_steps": 3, "rate": 0.5}
+
+
 def run_sweep_interleaved(model, loader, configs, rounds=3):
     """Best-of-``rounds`` sweep cost per config, measured round-robin.
 
     ``configs`` maps label -> (engine, chain_fastpath, prefix_batch, dtype,
-    lane_threads).  Interleaving the configurations (instead of timing each
-    one back to back) keeps a load spike on a shared CI box from billing
-    one configuration only.
+    lane_threads, fault_model).  Interleaving the configurations (instead
+    of timing each one back to back) keeps a load spike on a shared CI box
+    from billing one configuration only.
     """
 
     from repro.systolic import chain_kernel
@@ -108,17 +115,19 @@ def run_sweep_interleaved(model, loader, configs, rounds=3):
     saved = (chain_kernel.FASTPATH_ENABLED, chain_kernel.PREFIX_BATCH_ENABLED)
     try:
         for _ in range(rounds):
-            for label, (engine, fastpath, prefix, dtype,
-                        lane_threads) in configs.items():
+            for label, (engine, fastpath, prefix, dtype, lane_threads,
+                        fault_model) in configs.items():
                 chain_kernel.FASTPATH_ENABLED = fastpath
                 chain_kernel.PREFIX_BATCH_ENABLED = prefix
+                params = TRANSIENT_PARAMS if fault_model == "transient" else None
                 start = time.perf_counter()
                 records[label] = sweep_faulty_pe_count(
                     model, loader,
                     rows=CAMPAIGN_CONFIG.array_rows, cols=CAMPAIGN_CONFIG.array_cols,
                     counts=COUNTS, trials=TRIALS, seed=CAMPAIGN_CONFIG.seed,
                     dataset="mnist", engine=engine, dtype=dtype,
-                    lane_threads=lane_threads)
+                    lane_threads=lane_threads,
+                    fault_model=fault_model, fault_params=params)
                 times[label] = min(times[label], time.perf_counter() - start)
     finally:
         chain_kernel.FASTPATH_ENABLED, chain_kernel.PREFIX_BATCH_ENABLED = saved
@@ -132,13 +141,15 @@ def test_bench_campaign_engines(campaign_setup):
     run_sweep(model, loader, "fused")
 
     configs = {
-        "sequential": ("sequential", True, True, "float64", None),
-        "batched": ("batched", True, True, "float64", None),
-        "fused": ("fused", True, True, "float64", None),
-        "fused-chainref": ("fused", False, True, "float64", None),
-        "fused-noprefix": ("fused", True, False, "float64", None),
-        "fused-lane2": ("fused", True, True, "float64", 2),
-        "fused-f32": ("fused", True, True, "float32", None),
+        "sequential": ("sequential", True, True, "float64", None, "stuck_at"),
+        "batched": ("batched", True, True, "float64", None, "stuck_at"),
+        "fused": ("fused", True, True, "float64", None, "stuck_at"),
+        "fused-chainref": ("fused", False, True, "float64", None, "stuck_at"),
+        "fused-noprefix": ("fused", True, False, "float64", None, "stuck_at"),
+        "fused-lane2": ("fused", True, True, "float64", 2, "stuck_at"),
+        "fused-f32": ("fused", True, True, "float32", None, "stuck_at"),
+        "sequential-seu": ("sequential", True, True, "float64", None, "transient"),
+        "fused-seu": ("fused", True, True, "float64", None, "transient"),
     }
     records, times = run_sweep_interleaved(model, loader, configs, rounds=5)
 
@@ -146,9 +157,11 @@ def test_bench_campaign_engines(campaign_setup):
     fastpath_speedup = times["fused-chainref"] / times["fused"]
     prefix_speedup = times["fused-noprefix"] / times["fused"]
     lane_speedup = times["fused"] / times["fused-lane2"]
+    transient_ratio = times["fused"] / times["fused-seu"]
     rows = []
     for engine in ("sequential", "batched", "fused", "fused-chainref",
-                   "fused-noprefix", "fused-lane2", "fused-f32"):
+                   "fused-noprefix", "fused-lane2", "fused-f32",
+                   "sequential-seu", "fused-seu"):
         rows.append({
             "engine": engine, "points": len(COUNTS), "trials": TRIALS,
             "fault_maps": (len(COUNTS) - 1) * TRIALS,
@@ -160,7 +173,10 @@ def test_bench_campaign_engines(campaign_setup):
                  and records["fused"] == records["sequential"]
                  and records["fused-chainref"] == records["sequential"]
                  and records["fused-noprefix"] == records["sequential"]
-                 and records["fused-lane2"] == records["sequential"])
+                 and records["fused-lane2"] == records["sequential"]
+                 # The transient (SEU) schedule sweep: the phase-aware fused
+                 # engine must match the per-schedule sequential oracle.
+                 and records["fused-seu"] == records["sequential-seu"])
     table = format_table(rows, columns=["engine", "points", "trials", "fault_maps",
                                         "seconds", "speedup", "vs_batched"],
                          title="Campaign engines: Fig. 5b sweep cost")
@@ -168,6 +184,7 @@ def test_bench_campaign_engines(campaign_setup):
                f"chain fast path vs untiled reference: {fastpath_speedup:.2f}x; "
                f"prefix batching vs per-group: {prefix_speedup:.2f}x; "
                f"2 fork lanes vs 1: {lane_speedup:.2f}x; "
+               f"stuck-at fused vs transient fused: {transient_ratio:.2f}x; "
                f"fused vs PR 1 recorded batched ({PR1_BATCHED_SECONDS:.3f}s): "
                f"{PR1_BATCHED_SECONDS / times['fused']:.2f}x")
     print("\n" + table + "\n" + summary)
@@ -186,13 +203,19 @@ def test_bench_campaign_engines(campaign_setup):
         "chain_fastpath_speedup": fastpath_speedup,
         "prefix_batch_speedup": prefix_speedup,
         "lane_speedup": lane_speedup,
+        "transient_overhead": transient_ratio,
         "note": "identical_records pins float64 bit-identity across all "
-                "engines, both chain paths, prefix batching on/off and "
-                "1 vs 2 fork lanes; the *_speedup entries are cold Fig. 5b "
-                "sweep cost ratios measured within this run "
-                "(machine-relative): untiled reference chain path over the "
-                "uniform-tile fast path, per-group application over "
-                "prefix-level batching, and one fork lane over two",
+                "engines, both chain paths, prefix batching on/off, "
+                "1 vs 2 fork lanes, and the transient (SEU) schedule sweep "
+                "(phase-aware fused vs per-schedule sequential); the "
+                "*_speedup entries are cold Fig. 5b sweep cost ratios "
+                "measured within this run (machine-relative): untiled "
+                "reference chain path over the uniform-tile fast path, "
+                "per-group application over prefix-level batching, and one "
+                "fork lane over two; transient_overhead is the stuck-at "
+                "fused sweep cost over the transient-schedule fused sweep "
+                "cost (a drop means the transient path got relatively "
+                "slower)",
     }], RESULTS_DIR / "campaign_engine.json")
 
     # The acceptance property: identical records across all three engines,
@@ -216,6 +239,12 @@ def test_bench_campaign_engines(campaign_setup):
         f"prefix batching slowed the sweep: {prefix_speedup:.2f}x"
     assert lane_speedup >= 0.5, \
         f"2 fork lanes cost {1 / lane_speedup:.2f}x over serial lanes"
+    # The transient path re-prepares per *phase*, not per step; even with
+    # every step in its own phase the fused sweep must stay within a small
+    # multiple of the stuck-at sweep.  The recorded ratio is gated
+    # machine-relative by check_regression.py.
+    assert transient_ratio >= 0.15, \
+        f"transient sweep cost {1 / transient_ratio:.2f}x over stuck-at"
 
 
 def test_bench_campaign_cache_hit(campaign_setup, tmp_path):

@@ -114,6 +114,7 @@ def main(argv=None) -> int:
         ("chain_fastpath_speedup", "chain fast path"),
         ("prefix_batch_speedup", "prefix batching"),
         ("lane_speedup", "lane threads"),
+        ("transient_overhead", "transient path"),
     )
     for key, label in gated_ratios:
         if meta and key in meta and key in recorded_meta:

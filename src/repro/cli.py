@@ -15,6 +15,13 @@ Fault-injection campaigns run directly on the campaign engine::
     python -m repro campaign counts --engine fused --dtype float32
     python -m repro campaign sizes --sizes 8,16,32 --workers 4 --cache-dir .cache
 
+Named scenarios bundle dataset, sweep axis, fault model and mitigation
+into one registry entry (:mod:`repro.experiments.scenarios`)::
+
+    python -m repro campaign --list-scenarios
+    python -m repro campaign --scenario nmnist-transient-bernoulli
+    python -m repro campaign --scenario dvs-gesture-transient-burst --engine sequential
+
 Sweeps scale out through the campaign orchestrator: ``--workers K`` pulls
 work units from a crash-tolerant work-stealing queue, ``--resume``
 persists unit results so an interrupted sweep continues where it stopped,
@@ -77,9 +84,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     campaign_parser = subparsers.add_parser(
         "campaign", help="run a fault-injection sweep on the campaign engine")
-    campaign_parser.add_argument("sweep", choices=("bits", "counts", "sizes"),
+    campaign_parser.add_argument("sweep", nargs="?", default=None,
+                                 choices=("bits", "counts", "sizes"),
                                  help="grid axis: bit positions, faulty-PE counts "
-                                      "or array sizes (Fig. 5a/5b/5c)")
+                                      "or array sizes (Fig. 5a/5b/5c); omit when "
+                                      "using --scenario")
+    campaign_parser.add_argument("--scenario", default=None, metavar="NAME",
+                                 help="run a named scenario from the registry "
+                                      "(dataset x sweep x fault model x "
+                                      "mitigation); see --list-scenarios")
+    campaign_parser.add_argument("--list-scenarios", action="store_true",
+                                 help="list registered scenarios and exit")
     campaign_parser.add_argument("--dataset", choices=PAPER_DATASETS, default="mnist")
     campaign_parser.add_argument("--scale", choices=sorted(SCALES), default="small")
     campaign_parser.add_argument("--seed", type=int, default=None)
@@ -287,6 +302,52 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Record columns printed per sweep axis (shared by sweeps and scenarios).
+_CAMPAIGN_COLUMNS = {
+    "bits": ["dataset", "stuck_type", "bit_position", "accuracy", "accuracy_std"],
+    "counts": ["dataset", "num_faulty_pes", "fault_rate", "accuracy", "accuracy_std"],
+    "sizes": ["dataset", "array_size", "num_faulty_pes", "accuracy", "accuracy_std"],
+}
+
+
+def _cmd_campaign_scenario(args: argparse.Namespace) -> int:
+    """Resolve and run a registered scenario (``campaign --scenario NAME``)."""
+
+    from .experiments.scenarios import get_scenario, run_scenario
+    from .faults import PendingShardError
+
+    try:
+        scenario = get_scenario(args.scenario)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    cache_dir = _resolve_cache_dir(args)
+    engine_options = dict(engine=args.engine, workers=args.workers,
+                          cache_dir=cache_dir, dtype=args.dtype,
+                          shard=args.shard, trial_chunk=args.trial_chunk,
+                          unit_timeout=args.unit_timeout,
+                          lane_threads=args.lane_threads,
+                          plan_cache=not args.no_plan_cache)
+    if args.workers > 1 or args.shard is not None:
+        engine_options["progress"] = _print_progress
+    config_overrides = {"seed": args.seed} if args.seed is not None else None
+    cache_text = f", cache {cache_dir}" if cache_dir else ""
+    print(f"campaign scenario '{scenario.name}' -- {scenario.describe()} "
+          f"[{scenario.scale} scale, {args.engine} engine, "
+          f"dtype={args.dtype}, workers={args.workers}{cache_text}]")
+    try:
+        records = run_scenario(scenario, config_overrides=config_overrides,
+                               **engine_options)
+    except PendingShardError as exc:
+        return _report_pending_shard(exc, args)
+    print(format_table(records, columns=_CAMPAIGN_COLUMNS[scenario.sweep],
+                       title=f"scenario {scenario.name} records"))
+    if args.out:
+        save_records(records, args.out)
+        print(f"records saved to {args.out}")
+    return 0
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from .experiments import prepare_baseline
     from .faults import (
@@ -297,6 +358,28 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     )
     from .systolic import DEFAULT_ACCUMULATOR_FORMAT
     from .utils.rng import derive_seed
+
+    if args.list_scenarios:
+        from .experiments.scenarios import list_scenarios
+
+        rows = [{
+            "name": scenario.name,
+            "dataset": scenario.dataset,
+            "sweep": scenario.sweep,
+            "fault model": scenario.fault_model,
+            "mitigation": scenario.mitigation,
+            "description": scenario.description,
+        } for scenario in list_scenarios()]
+        print(format_table(rows, columns=["name", "dataset", "sweep", "fault model",
+                                          "mitigation", "description"],
+                           title="Registered scenarios"))
+        return 0
+    if (args.sweep is None) == (args.scenario is None):
+        print("error: give exactly one of a sweep axis (bits/counts/sizes) "
+              "or --scenario NAME", file=sys.stderr)
+        return 2
+    if args.scenario is not None:
+        return _cmd_campaign_scenario(args)
 
     overrides = {}
     if args.seed is not None:
@@ -329,7 +412,6 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 bit_positions=bits, trials=args.trials, stuck_types=(args.stuck,),
                 dataset=config.dataset, seed=derive_seed(config.seed, "fig5a"),
                 **engine_options)
-            columns = ["dataset", "stuck_type", "bit_position", "accuracy", "accuracy_std"]
         elif args.sweep == "counts":
             counts = args.counts if args.counts is not None else [0, 2, 4, 8, 16]
             records = sweep_faulty_pe_count(
@@ -338,7 +420,6 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 counts=counts, trials=args.trials, stuck_type=args.stuck,
                 dataset=config.dataset, seed=derive_seed(config.seed, "fig5b"),
                 **engine_options)
-            columns = ["dataset", "num_faulty_pes", "fault_rate", "accuracy", "accuracy_std"]
         else:
             sizes = args.sizes if args.sizes is not None else [4, 8, 16, 32]
             records = sweep_array_sizes(
@@ -346,11 +427,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 sizes=sizes, num_faulty=4, trials=args.trials, stuck_type=args.stuck,
                 dataset=config.dataset, seed=derive_seed(config.seed, "fig5c"),
                 **engine_options)
-            columns = ["dataset", "array_size", "num_faulty_pes", "accuracy", "accuracy_std"]
     except PendingShardError as exc:
         return _report_pending_shard(exc, args)
 
-    print(format_table(records, columns=columns, title=f"campaign {args.sweep} records"))
+    print(format_table(records, columns=_CAMPAIGN_COLUMNS[args.sweep],
+                       title=f"campaign {args.sweep} records"))
     if args.out:
         save_records(records, args.out)
         print(f"records saved to {args.out}")

@@ -25,6 +25,17 @@ from .ablations import (
     ablate_threshold_granularity,
 )
 from .registry import EXPERIMENTS, ExperimentSpec, get_experiment, list_experiments
+from .scenarios import (
+    MITIGATIONS,
+    SCENARIOS,
+    SWEEPS,
+    Scenario,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    run_scenario,
+    scenario_from_json,
+)
 
 __all__ = [
     "ExperimentConfig",
@@ -57,4 +68,13 @@ __all__ = [
     "ExperimentSpec",
     "get_experiment",
     "list_experiments",
+    "MITIGATIONS",
+    "SCENARIOS",
+    "SWEEPS",
+    "Scenario",
+    "get_scenario",
+    "list_scenarios",
+    "register_scenario",
+    "run_scenario",
+    "scenario_from_json",
 ]

@@ -1,26 +1,46 @@
-"""Permanent-fault injection framework for systolicSNNs.
+"""Fault-injection framework for systolicSNNs.
 
-Stuck-at fault models, per-chip fault maps, injectors that attach a faulty
-systolic array to a trained SNN, the vulnerability sweep drivers that
-regenerate the paper's Fig. 5, the batched campaign engine, and the sharded
-orchestrator that scales whole sweeps across worker processes and machines
-(see ``docs/ARCHITECTURE.md``).
+Fault models (permanent datapath stuck-at, weight-SRAM stuck-at, transient
+per-time-step schedules), per-chip fault maps, injectors that attach a
+faulty systolic array to a trained SNN, the vulnerability sweep drivers
+that regenerate the paper's Fig. 5, the batched campaign engine, and the
+sharded orchestrator that scales whole sweeps across worker processes and
+machines (see ``docs/ARCHITECTURE.md``).
 """
 
-from .fault_model import StuckAtFault, StuckAtType, lsb_fault, msb_fault
+from .fault_model import (
+    StuckAtFault,
+    StuckAtType,
+    TransientFault,
+    WeightSRAMFault,
+    lsb_fault,
+    msb_fault,
+    transient_fault,
+)
 from .fault_map import (
     FaultMap,
+    FaultSchedule,
+    SCHEDULE_PROCESSES,
+    bernoulli_schedule,
+    burst_schedule,
+    clustered_schedule,
     fault_map_from_rate,
     fault_maps_for_trials,
     random_fault_map,
+    random_weight_fault_map,
+    schedule_from_process,
+    schedule_phases,
     single_bit_fault_map,
 )
 from .injection import (
     BatchedFaultInjector,
+    BatchedTransientFaultInjector,
     FaultInjector,
+    TransientFaultInjector,
     build_faulty_array,
     evaluate_with_faults,
     evaluate_with_faults_batched,
+    evaluate_with_transient_faults,
 )
 from .campaign import (
     CampaignPoint,
@@ -39,7 +59,10 @@ from .orchestrator import (
     WorkUnit,
 )
 from .analysis import (
+    array_size_points,
     baseline_accuracy,
+    bit_sweep_points,
+    pe_count_points,
     sweep_array_sizes,
     sweep_bit_locations,
     sweep_faulty_pe_count,
@@ -58,18 +81,32 @@ from .detection import (
 __all__ = [
     "StuckAtFault",
     "StuckAtType",
+    "TransientFault",
+    "WeightSRAMFault",
     "lsb_fault",
     "msb_fault",
+    "transient_fault",
     "FaultMap",
+    "FaultSchedule",
+    "SCHEDULE_PROCESSES",
+    "bernoulli_schedule",
+    "burst_schedule",
+    "clustered_schedule",
     "fault_map_from_rate",
     "fault_maps_for_trials",
     "random_fault_map",
+    "random_weight_fault_map",
+    "schedule_from_process",
+    "schedule_phases",
     "single_bit_fault_map",
     "BatchedFaultInjector",
+    "BatchedTransientFaultInjector",
     "FaultInjector",
+    "TransientFaultInjector",
     "build_faulty_array",
     "evaluate_with_faults",
     "evaluate_with_faults_batched",
+    "evaluate_with_transient_faults",
     "CampaignPoint",
     "CampaignRunner",
     "CampaignOrchestrator",
@@ -82,7 +119,10 @@ __all__ = [
     "cached_record",
     "load_cached_record",
     "store_record_safe",
+    "array_size_points",
     "baseline_accuracy",
+    "bit_sweep_points",
+    "pe_count_points",
     "sweep_array_sizes",
     "sweep_bit_locations",
     "sweep_faulty_pe_count",

@@ -47,15 +47,18 @@ from ..utils.hashing import loader_token, model_token, state_token
 from ..utils.logging import get_logger
 from ..utils.rng import get_rng
 from ..utils.serialization import load_records, save_records
-from .fault_map import FaultMap, random_fault_map
+from .fault_map import (FaultMap, FaultSchedule, random_fault_map,
+                        random_weight_fault_map, schedule_from_process)
 from .fault_model import StuckAtType
-from .injection import evaluate_with_faults, evaluate_with_faults_batched
+from .injection import (evaluate_with_faults, evaluate_with_faults_batched,
+                        evaluate_with_transient_faults)
 
 __all__ = [
     "CampaignPoint",
     "CampaignRunner",
     "DTYPES",
     "ENGINES",
+    "FAULT_MODELS",
     "cached_record",
     "load_cached_record",
     "loader_token",
@@ -72,6 +75,17 @@ ENGINES = ("fused", "batched", "sequential")
 
 #: Evaluation dtypes understood by the fused engine.
 DTYPES = ("float64", "float32")
+
+#: Fault models a grid point can carry: permanent datapath stuck-at (the
+#: paper's model), weight-SRAM stuck-at, or per-time-step transient
+#: schedules.  Stuck-at points keep their historic cache keys; the other
+#: models add ``fault_model``/``fault_params`` to the key payload.
+FAULT_MODELS = ("stuck_at", "sram", "transient")
+
+#: fault_params keys accepted on a transient point (forwarded to
+#: :func:`repro.faults.fault_map.schedule_from_process`).
+_TRANSIENT_PARAM_KEYS = ("process", "num_steps", "rate", "burst_length",
+                         "cluster_size", "high_order_bits")
 
 #: Cache layout version; bump when record contents change incompatibly.
 _CACHE_VERSION = 1
@@ -97,6 +111,8 @@ class CampaignPoint:
     stuck_type: str = "sa1"
     label: str = ""
     dataset: str = ""
+    fault_model: str = "stuck_at"
+    fault_params: Tuple[Tuple[str, object], ...] = ()
 
     def __post_init__(self) -> None:
         if self.rows <= 0 or self.cols <= 0:
@@ -112,6 +128,31 @@ class CampaignPoint:
         object.__setattr__(self, "map_seeds", tuple(int(s) for s in self.map_seeds))
         object.__setattr__(self, "stuck_type",
                            StuckAtType.from_value(self.stuck_type).short_name)
+        if self.fault_model not in FAULT_MODELS:
+            raise ValueError(
+                f"unknown fault model '{self.fault_model}'; "
+                f"options: {FAULT_MODELS}")
+        params = self.fault_params
+        items = params.items() if isinstance(params, dict) else tuple(params)
+        normalized = tuple(sorted((str(key), value) for key, value in items))
+        if self.fault_model == "transient":
+            unknown = [key for key, _ in normalized
+                       if key not in _TRANSIENT_PARAM_KEYS]
+            if unknown:
+                raise ValueError(
+                    f"unknown transient fault_params key(s) {unknown}; "
+                    f"options: {_TRANSIENT_PARAM_KEYS}")
+            values = dict(normalized)
+            if int(values.get("num_steps", 0)) <= 0:
+                raise ValueError(
+                    "transient points need a positive 'num_steps' in "
+                    "fault_params (the schedule must cover the model's "
+                    "time steps)")
+        elif normalized:
+            raise ValueError(
+                f"fault_params are only meaningful for transient points, "
+                f"not fault_model='{self.fault_model}'")
+        object.__setattr__(self, "fault_params", normalized)
 
     @property
     def trials(self) -> int:
@@ -121,7 +162,9 @@ class CampaignPoint:
     def for_trials(cls, rows: int, cols: int, num_faulty: int, trials: int, *,
                    bit_position: Optional[int] = None,
                    stuck_type: Union[StuckAtType, int, str] = "sa1",
-                   seed=None, label: str = "", dataset: str = "") -> "CampaignPoint":
+                   seed=None, label: str = "", dataset: str = "",
+                   fault_model: str = "stuck_at",
+                   fault_params=()) -> "CampaignPoint":
         """Expand one base seed into per-trial map seeds.
 
         The expansion matches :func:`repro.faults.fault_map.fault_maps_for_trials`
@@ -135,23 +178,50 @@ class CampaignPoint:
         return cls(rows=rows, cols=cols, num_faulty=num_faulty, map_seeds=seeds,
                    bit_position=bit_position,
                    stuck_type=StuckAtType.from_value(stuck_type).short_name,
-                   label=label, dataset=dataset)
+                   label=label, dataset=dataset,
+                   fault_model=fault_model, fault_params=fault_params)
 
     def build_fault_maps(self, fmt: FixedPointFormat = DEFAULT_ACCUMULATOR_FORMAT
                          ) -> List[FaultMap]:
         """Materialise the point's fault maps (one per trial seed)."""
 
+        if self.fault_model == "transient":
+            raise ValueError(
+                "transient points materialise schedules, not fault maps; "
+                "use build_schedules()")
+        builder = (random_weight_fault_map if self.fault_model == "sram"
+                   else random_fault_map)
         return [
-            random_fault_map(self.rows, self.cols, self.num_faulty,
-                             bit_position=self.bit_position,
-                             stuck_type=self.stuck_type, fmt=fmt, seed=seed)
+            builder(self.rows, self.cols, self.num_faulty,
+                    bit_position=self.bit_position,
+                    stuck_type=self.stuck_type, fmt=fmt, seed=seed)
+            for seed in self.map_seeds
+        ]
+
+    def build_schedules(self, fmt: FixedPointFormat = DEFAULT_ACCUMULATOR_FORMAT
+                        ) -> List[FaultSchedule]:
+        """Materialise a transient point's fault schedules (one per trial)."""
+
+        if self.fault_model != "transient":
+            raise ValueError(
+                f"fault_model='{self.fault_model}' points materialise fault "
+                "maps, not schedules; use build_fault_maps()")
+        params = dict(self.fault_params)
+        process = params.pop("process", "bernoulli")
+        num_steps = int(params.pop("num_steps"))
+        return [
+            schedule_from_process(process, self.rows, self.cols,
+                                  self.num_faulty, num_steps,
+                                  bit_position=self.bit_position,
+                                  stuck_type=self.stuck_type, fmt=fmt,
+                                  seed=seed, **params)
             for seed in self.map_seeds
         ]
 
     def as_payload(self) -> dict:
         """JSON-stable representation used in records and cache keys."""
 
-        return {
+        payload = {
             "rows": int(self.rows),
             "cols": int(self.cols),
             "num_faulty": int(self.num_faulty),
@@ -161,6 +231,13 @@ class CampaignPoint:
             "label": self.label,
             "dataset": self.dataset,
         }
+        if self.fault_model != "stuck_at":
+            # Stuck-at points keep their historic cache keys (the payload
+            # above is byte-identical to pre-fault-model records); only the
+            # new models extend the key.
+            payload["fault_model"] = self.fault_model
+            payload["fault_params"] = dict(self.fault_params)
+        return payload
 
 
 # ----------------------------------------------------------------------
@@ -547,11 +624,29 @@ class CampaignRunner:
         })
         return record
 
+    def _check_transient_point(self, point: CampaignPoint) -> None:
+        if point.fault_model == "transient" and self.bypass:
+            raise ValueError(
+                "bypass mitigation is not defined for transient fault "
+                "schedules (bypassing a PE for the whole inference would "
+                "mask its clean steps too)")
+
+    def _evaluate_transient(self, schedules: Sequence[FaultSchedule]
+                            ) -> List[float]:
+        return evaluate_with_transient_faults(
+            self.model, self.loader, schedules, fmt=self.fmt,
+            engine=self.engine, dtype=self.dtype,
+            plan_cache=self.plan_cache, plan_token=self._model_token,
+            lane_threads=self._effective_lane_threads)
+
     def _evaluate_point(self, point: CampaignPoint) -> dict:
         """Simulate one grid point (no cache) and return its record."""
 
-        maps = point.build_fault_maps(self.fmt)
-        if self.engine in ("fused", "batched"):
+        self._check_transient_point(point)
+        if point.fault_model == "transient":
+            accuracies = self._evaluate_transient(point.build_schedules(self.fmt))
+        elif self.engine in ("fused", "batched"):
+            maps = point.build_fault_maps(self.fmt)
             accuracies = evaluate_with_faults_batched(
                 self.model, self.loader, fault_maps=maps,
                 bypass=self.bypass, fmt=self.fmt,
@@ -560,6 +655,7 @@ class CampaignRunner:
                 plan_token=self._model_token,
                 lane_threads=self._effective_lane_threads)
         else:
+            maps = point.build_fault_maps(self.fmt)
             accuracies = [
                 evaluate_with_faults(self.model, self.loader, fault_map=fault_map,
                                      bypass=self.bypass, fmt=self.fmt,
@@ -579,11 +675,18 @@ class CampaignRunner:
         """
 
         results: List[Optional[dict]] = [None] * len(points)
-        groups: Dict[Tuple[int, int], List[int]] = {}
+        groups: Dict[Tuple, List[int]] = {}
         for index, point in enumerate(points):
-            groups.setdefault((point.rows, point.cols), []).append(index)
+            self._check_transient_point(point)
+            # Only points with identical fault semantics may share a pass:
+            # transient schedules need a common num_steps (and phase
+            # structure costs grow with mixed schedules), so the model and
+            # its params join the geometry in the group key.
+            key = (point.rows, point.cols, point.fault_model, point.fault_params)
+            groups.setdefault(key, []).append(index)
 
-        for indices in groups.values():
+        for key, indices in groups.items():
+            transient = key[2] == "transient"
             chunk: List[Tuple[int, list]] = []
             chunk_maps = 0
 
@@ -591,28 +694,32 @@ class CampaignRunner:
                 nonlocal chunk, chunk_maps
                 if not chunk:
                     return
-                merged = [fault_map for _, maps in chunk for fault_map in maps]
-                accuracies = evaluate_with_faults_batched(
-                    self.model, self.loader, fault_maps=merged,
-                    bypass=self.bypass, fmt=self.fmt,
-                    engine="fused" if self.engine == "fused" else "autograd",
-                    dtype=self.dtype, plan_cache=self.plan_cache,
-                    plan_token=self._model_token,
-                    lane_threads=self._effective_lane_threads)
+                merged = [item for _, items in chunk for item in items]
+                if transient:
+                    accuracies = self._evaluate_transient(merged)
+                else:
+                    accuracies = evaluate_with_faults_batched(
+                        self.model, self.loader, fault_maps=merged,
+                        bypass=self.bypass, fmt=self.fmt,
+                        engine="fused" if self.engine == "fused" else "autograd",
+                        dtype=self.dtype, plan_cache=self.plan_cache,
+                        plan_token=self._model_token,
+                        lane_threads=self._effective_lane_threads)
                 offset = 0
-                for index, maps in chunk:
+                for index, items in chunk:
                     results[index] = self._record_for(
-                        points[index], accuracies[offset:offset + len(maps)])
-                    offset += len(maps)
+                        points[index], accuracies[offset:offset + len(items)])
+                    offset += len(items)
                 chunk = []
                 chunk_maps = 0
 
             for index in indices:
-                maps = points[index].build_fault_maps(self.fmt)
-                if chunk_maps and chunk_maps + len(maps) > self.max_batched_maps:
+                items = (points[index].build_schedules(self.fmt) if transient
+                         else points[index].build_fault_maps(self.fmt))
+                if chunk_maps and chunk_maps + len(items) > self.max_batched_maps:
                     flush()
-                chunk.append((index, maps))
-                chunk_maps += len(maps)
+                chunk.append((index, items))
+                chunk_maps += len(items)
             flush()
         return [record for record in results if record is not None]
 

@@ -1,16 +1,27 @@
-"""Permanent-fault models for the systolicSNN accelerator.
+"""Fault models for the systolicSNN accelerator.
 
 The paper studies *stuck-at faults* in the accumulator output of PEs: a
 manufacturing defect forces one output bit permanently to 0 (stuck-at-0) or
 1 (stuck-at-1).  The fault is applied to the two's-complement fixed-point
 code of the accumulator value in every execution cycle.
+
+Two further classes extend the paper's permanent datapath model:
+
+* :class:`WeightSRAMFault` -- a stuck-at bit in a PE's *weight storage*
+  instead of its accumulator datapath: the quantised weight tile held by
+  the PE is corrupted once, ahead of the GEMM, and the (otherwise clean)
+  accumulation then runs over the corrupted weights.
+* :class:`TransientFault` -- a per-time-step (SEU-style) upset: the same
+  stuck-at bit forcing, but live only on an explicit set of SNN time
+  steps.  Schedules of transient faults live in
+  :class:`repro.faults.fault_map.FaultSchedule`.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Union
+from typing import FrozenSet, Iterable, Union
 
 import numpy as np
 
@@ -67,6 +78,11 @@ class StuckAtFault:
     #: bit 63 could never be applied by any accumulator format we simulate.
     MAX_BIT_POSITION = 63
 
+    #: Whether the fault corrupts the PE's stored weights (ahead of the
+    #: GEMM) instead of its accumulator datapath.  The simulators dispatch
+    #: on this flag, so subclasses do not need isinstance checks.
+    corrupts_weights = False
+
     def __post_init__(self) -> None:
         if self.bit_position < 0:
             raise ValueError("bit_position must be non-negative")
@@ -100,6 +116,86 @@ class StuckAtFault:
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.describe()
+
+
+@dataclasses.dataclass(frozen=True)
+class WeightSRAMFault(StuckAtFault):
+    """A stuck-at bit in the weight SRAM of one PE.
+
+    Unlike the datapath :class:`StuckAtFault`, which corrupts the partial
+    sum flowing through the PE on *every* accumulation cycle, a weight-SRAM
+    fault corrupts the quantised weight values stored in the PE exactly
+    once, before the GEMM runs: every weight element mapped to the faulty
+    PE has ``bit_position`` of its fixed-point code forced to the stuck
+    value, and the (otherwise clean) column accumulation then uses the
+    corrupted weights.  Bypassing the PE masks the fault (its weight
+    contribution is skipped entirely), exactly as for datapath faults.
+    """
+
+    corrupts_weights = True
+
+    def describe(self) -> str:
+        return f"sram-{super().describe()}"
+
+
+@dataclasses.dataclass(frozen=True)
+class TransientFault:
+    """A transient (SEU-style) stuck-at upset on one PE accumulator bit.
+
+    The corruption applied while the fault is live is exactly the
+    permanent :class:`StuckAtFault` bit forcing; ``active_steps`` pins the
+    SNN time steps (0-based) on which the fault fires.  Outside those
+    steps the PE behaves cleanly.
+
+    Validation reuses the :class:`StuckAtFault` rules (non-negative bit
+    position, ``> 63`` rejected at construction).
+    """
+
+    bit_position: int
+    stuck_type: StuckAtType = StuckAtType.STUCK_AT_1
+    active_steps: FrozenSet[int] = frozenset()
+
+    def __post_init__(self) -> None:
+        # Delegate bit/polarity validation to the permanent fault class so
+        # the two models can never drift apart.
+        probe = StuckAtFault(self.bit_position, self.stuck_type)
+        object.__setattr__(self, "stuck_type", probe.stuck_type)
+        steps = frozenset(int(step) for step in self.active_steps)
+        if any(step < 0 for step in steps):
+            raise ValueError("active_steps must be non-negative time steps")
+        object.__setattr__(self, "active_steps", steps)
+
+    @property
+    def stuck_value(self) -> int:
+        return self.stuck_type.value
+
+    def is_active(self, step: int) -> bool:
+        """Whether the fault is live at SNN time step ``step``."""
+
+        return int(step) in self.active_steps
+
+    def as_stuck_at(self) -> StuckAtFault:
+        """The permanent fault applied on the steps this fault is live."""
+
+        return StuckAtFault(self.bit_position, self.stuck_type)
+
+    def describe(self) -> str:
+        steps = ",".join(str(s) for s in sorted(self.active_steps))
+        return (f"{self.stuck_type.short_name}@bit{self.bit_position}"
+                f"@t[{steps}]")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()
+
+
+def transient_fault(bit_position: int,
+                    stuck_type: Union[StuckAtType, int, str],
+                    active_steps: Iterable[int]) -> TransientFault:
+    """Convenience constructor accepting any iterable of active steps."""
+
+    return TransientFault(bit_position=bit_position,
+                          stuck_type=StuckAtType.from_value(stuck_type),
+                          active_steps=frozenset(int(s) for s in active_steps))
 
 
 def msb_fault(fmt: FixedPointFormat, stuck_type: Union[StuckAtType, int, str] = 1

@@ -41,11 +41,16 @@ from ..snn.layers import Conv2d, Linear
 from ..snn.network import SpikingClassifier
 from ..systolic.array import BatchedSystolicArray, SystolicArray
 from ..systolic.fixed_point import DEFAULT_ACCUMULATOR_FORMAT, FixedPointFormat
-from .fault_map import FaultMap
+from .fault_map import FaultMap, FaultSchedule, schedule_phases
 
 #: Execution engines accepted by the evaluation helpers: the fused
 #: no-autograd plan (default) or the autograd fault-injector reference.
 EVAL_ENGINES = ("fused", "autograd")
+
+#: Execution engines accepted by :func:`evaluate_with_transient_faults`:
+#: the phase-aware fused plan (default), the batched autograd injector, or
+#: the per-schedule sequential oracle.
+TRANSIENT_EVAL_ENGINES = ("fused", "batched", "sequential")
 
 
 def _check_eval_engine(engine: str, dtype: str,
@@ -191,6 +196,184 @@ class BatchedFaultInjector(contextlib.AbstractContextManager):
             if "forward" in layer.__dict__:
                 object.__delattr__(layer, "forward")
         self._original_forwards = []
+
+
+class TransientFaultInjector(contextlib.AbstractContextManager):
+    """Sequential oracle for one transient fault schedule.
+
+    Every re-routed affine layer is executed once per SNN time step, so a
+    per-layer call counter *is* the time step; the layer's GEMM is routed
+    through the :class:`SystolicArray` carrying exactly the faults live at
+    that step (arrays are shared between steps with identical live sets).
+    ``model.forward`` is shadowed too, purely to reset the counters at the
+    start of each batch.
+
+    This path makes no fast-path assumptions -- each step runs the full
+    per-map array simulation -- which is what makes it the oracle the
+    batched and fused transient paths are pinned against.
+    """
+
+    def __init__(self, model: SpikingClassifier, schedule: FaultSchedule,
+                 fmt: FixedPointFormat = DEFAULT_ACCUMULATOR_FORMAT,
+                 layer_filter=None) -> None:
+        self.model = model
+        self.schedule = schedule
+        self.layer_filter = layer_filter or (lambda layer: True)
+        step_phase, phase_maps = schedule_phases([schedule])
+        self._step_phase = step_phase
+        self._arrays = [build_faulty_array(maps[0], fmt=fmt)
+                        for maps in phase_maps]
+        self._counters: dict = {}
+        self._original_forwards: List[Tuple[object, callable]] = []
+
+    def _target_layers(self) -> List[object]:
+        layers = [m for m in self.model.modules() if isinstance(m, (Conv2d, Linear))]
+        return [layer for layer in layers if self.layer_filter(layer)]
+
+    def _make_transient_forward(self, layer):
+        arrays = self._arrays
+        step_phase = self._step_phase
+        counters = self._counters
+        key = id(layer)
+        is_conv = isinstance(layer, Conv2d)
+
+        def forward(x: Tensor) -> Tensor:
+            step = counters.get(key, 0)
+            counters[key] = step + 1
+            if step >= len(step_phase):
+                raise ValueError(
+                    f"layer ran more than {len(step_phase)} time steps but "
+                    f"the fault schedule only covers {len(step_phase)}")
+            array = arrays[step_phase[step]]
+            bias = layer.bias.data if layer.bias is not None else None
+            if is_conv:
+                result = array.conv2d(layer.weight.data, x.data, bias=bias,
+                                      stride=layer.stride, padding=layer.padding)
+            else:
+                result = array.matmul(layer.weight.data, x.data, bias=bias)
+            return Tensor(result)
+        return forward
+
+    def __enter__(self) -> "TransientFaultInjector":
+        for layer in self._target_layers():
+            self._original_forwards.append((layer, layer.forward))
+            object.__setattr__(layer, "forward", self._make_transient_forward(layer))
+        counters = self._counters
+        original_forward = self.model.forward
+
+        def reset_forward(*args, **kwargs):
+            counters.clear()
+            return original_forward(*args, **kwargs)
+
+        object.__setattr__(self.model, "forward", reset_forward)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        for layer, _original in self._original_forwards:
+            if "forward" in layer.__dict__:
+                object.__delattr__(layer, "forward")
+        self._original_forwards = []
+        if "forward" in self.model.__dict__:
+            object.__delattr__(self.model, "forward")
+        self._counters.clear()
+
+
+class BatchedTransientFaultInjector(contextlib.AbstractContextManager):
+    """Run ``F`` transient fault schedules in one batched forward pass.
+
+    Fan-out works exactly as in :class:`BatchedFaultInjector` -- the first
+    re-routed layer's inputs come from the (untiled) encoding path at
+    *every* time step, so they are identical across maps at every step and
+    the clean product can always be computed once and replicated.  The only
+    additions are a per-layer step counter (each affine layer runs once per
+    time step) selecting the live-fault phase, and per-(layer, phase)
+    prepared weights.
+    """
+
+    def __init__(self, model: SpikingClassifier,
+                 schedules: Sequence[FaultSchedule],
+                 fmt: FixedPointFormat = DEFAULT_ACCUMULATOR_FORMAT,
+                 layer_filter=None) -> None:
+        schedules = list(schedules)
+        if not schedules:
+            raise ValueError("at least one schedule is required")
+        self.model = model
+        self.layer_filter = layer_filter or (lambda layer: True)
+        step_phase, phase_maps = schedule_phases(schedules)
+        self._step_phase = step_phase
+        self._phase_arrays = [BatchedSystolicArray.from_fault_maps(maps, fmt=fmt)
+                              for maps in phase_maps]
+        self.num_maps = len(schedules)
+        self._counters: dict = {}
+        self._original_forwards: List[Tuple[object, callable]] = []
+
+    def _target_layers(self) -> List[object]:
+        layers = [m for m in self.model.modules() if isinstance(m, (Conv2d, Linear))]
+        return [layer for layer in layers if self.layer_filter(layer)]
+
+    def _make_batched_forward(self, layer, fan_out: bool):
+        phase_arrays = self._phase_arrays
+        prepared = [array.prepare_weight(layer.weight.data)
+                    for array in phase_arrays]
+        num_maps = self.num_maps
+        step_phase = self._step_phase
+        counters = self._counters
+        key = id(layer)
+        is_conv = isinstance(layer, Conv2d)
+
+        def unfold(data: np.ndarray) -> np.ndarray:
+            if fan_out:
+                return data
+            if data.shape[0] % num_maps:
+                raise ValueError(
+                    f"batch size {data.shape[0]} is not divisible by the "
+                    f"{num_maps} fault maps; was the fan-out layer skipped?")
+            return data.reshape((num_maps, data.shape[0] // num_maps) + data.shape[1:])
+
+        def forward(x: Tensor) -> Tensor:
+            step = counters.get(key, 0)
+            counters[key] = step + 1
+            if step >= len(step_phase):
+                raise ValueError(
+                    f"layer ran more than {len(step_phase)} time steps but "
+                    f"the fault schedules only cover {len(step_phase)}")
+            phase = step_phase[step]
+            array = phase_arrays[phase]
+            bias = layer.bias.data if layer.bias is not None else None
+            if is_conv:
+                result = array.conv2d_batched(layer.weight.data, unfold(x.data),
+                                              bias=bias, stride=layer.stride,
+                                              padding=layer.padding,
+                                              prepared=prepared[phase])
+            else:
+                result = array.matmul_batched(layer.weight.data, unfold(x.data),
+                                              bias=bias, prepared=prepared[phase])
+            return Tensor(result.reshape((-1,) + result.shape[2:]))
+        return forward
+
+    def __enter__(self) -> "BatchedTransientFaultInjector":
+        for index, layer in enumerate(self._target_layers()):
+            self._original_forwards.append((layer, layer.forward))
+            object.__setattr__(layer, "forward",
+                               self._make_batched_forward(layer, fan_out=index == 0))
+        counters = self._counters
+        original_forward = self.model.forward
+
+        def reset_forward(*args, **kwargs):
+            counters.clear()
+            return original_forward(*args, **kwargs)
+
+        object.__setattr__(self.model, "forward", reset_forward)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        for layer, _original in self._original_forwards:
+            if "forward" in layer.__dict__:
+                object.__delattr__(layer, "forward")
+        self._original_forwards = []
+        if "forward" in self.model.__dict__:
+            object.__delattr__(self.model, "forward")
+        self._counters.clear()
 
 
 def build_faulty_array(fault_map: FaultMap,
@@ -400,3 +583,111 @@ def evaluate_with_faults_batched(model: SpikingClassifier, loader,
     if not total:
         return [0.0] * num_maps
     return [int(c) / total for c in correct]
+
+
+def evaluate_with_transient_faults(model: SpikingClassifier, loader,
+                                   schedules: Sequence[FaultSchedule], *,
+                                   fmt: FixedPointFormat = DEFAULT_ACCUMULATOR_FORMAT,
+                                   engine: str = "fused",
+                                   dtype: str = "float64",
+                                   plan_cache=None,
+                                   plan_token: Optional[str] = None,
+                                   lane_threads: Optional[int] = None
+                                   ) -> List[float]:
+    """Measure per-schedule accuracies of ``model`` under transient faults.
+
+    Parameters
+    ----------
+    model:
+        Trained :class:`~repro.snn.network.SpikingClassifier`.
+    loader:
+        Evaluation data loader; accuracy is measured over all its batches.
+    schedules:
+        One :class:`~repro.faults.fault_map.FaultSchedule` per trial.  All
+        must share grid dimensions and ``num_steps``; the model must not
+        run more time steps than the schedules cover (running fewer is
+        fine -- late faults simply never fire).
+    fmt:
+        Accumulator fixed-point format of the simulated arrays.
+    engine:
+        ``"fused"`` (default) runs the phase-aware
+        :class:`~repro.snn.inference.FusedFaultEngine`; ``"batched"`` the
+        autograd :class:`BatchedTransientFaultInjector`; ``"sequential"``
+        the per-schedule :class:`TransientFaultInjector` oracle.  float64
+        results are bit-identical across all three.
+    dtype:
+        ``"float64"`` (default) or ``"float32"`` (fused engine only).
+    plan_cache / plan_token / lane_threads:
+        Fused-engine options, as in :func:`evaluate_with_faults_batched`.
+
+    Returns
+    -------
+    list of float
+        One accuracy per schedule, in input order.
+
+    Notes
+    -----
+    Transient schedules model the unmitigated chip: there is no ``bypass``
+    option (bypassing a PE for the whole inference would mask the fault on
+    its clean steps too, a different -- permanent -- mitigation model).
+    """
+
+    schedules = list(schedules)
+    if not schedules:
+        raise ValueError("at least one schedule is required")
+    if engine not in TRANSIENT_EVAL_ENGINES:
+        raise ValueError(
+            f"unknown engine '{engine}'; options: {TRANSIENT_EVAL_ENGINES}")
+    if engine != "fused" and dtype != "float64":
+        raise ValueError("dtype overrides require the fused engine")
+    if engine != "fused" and lane_threads is not None and int(lane_threads) > 1:
+        raise ValueError("lane_threads > 1 requires the fused engine")
+
+    if engine == "fused":
+        from ..snn.inference import FusedFaultEngine
+
+        with FusedFaultEngine(model, schedules=schedules, fmt=fmt,
+                              dtype=dtype, plan_cache=plan_cache,
+                              plan_token=plan_token,
+                              lane_threads=lane_threads) as fused:
+            return fused.evaluate(loader)
+
+    was_training = model.training
+    model.eval()
+    try:
+        if engine == "batched":
+            num_maps = len(schedules)
+            correct = np.zeros(num_maps, dtype=np.int64)
+            total = 0
+            with BatchedTransientFaultInjector(model, schedules, fmt=fmt) \
+                    as injector, no_grad():
+                fans_out = bool(injector._original_forwards)
+                for inputs, labels in loader:
+                    rates = model(Tensor(inputs))
+                    batch = labels.shape[0]
+                    if fans_out:
+                        predictions = np.argmax(
+                            rates.data.reshape(num_maps, batch, -1), axis=2)
+                        correct += np.sum(predictions == labels[None, :], axis=1)
+                    else:
+                        predictions = np.argmax(rates.data, axis=1)
+                        correct += int(np.sum(predictions == labels))
+                    total += batch
+            if not total:
+                return [0.0] * num_maps
+            return [int(c) / total for c in correct]
+
+        accuracies = []
+        for schedule in schedules:
+            correct = 0
+            total = 0
+            with TransientFaultInjector(model, schedule, fmt=fmt), no_grad():
+                for inputs, labels in loader:
+                    rates = model(Tensor(inputs))
+                    predictions = np.argmax(rates.data, axis=1)
+                    correct += int(np.sum(predictions == labels))
+                    total += labels.shape[0]
+            accuracies.append(correct / total if total else 0.0)
+        return accuracies
+    finally:
+        model.train(was_training)

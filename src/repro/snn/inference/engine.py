@@ -211,7 +211,7 @@ class _Lane:
     def __init__(self, maps, start, layers, kernels) -> None:
         self.maps = maps          # global map indices, fork order
         self.start = start        # first op index with a fork in this lane
-        self.layers = layers      # per affine ordinal: Optional[_AffineExec]
+        self.layers = layers      # [phase][affine ordinal]: Optional[_AffineExec]
         self.kernels = kernels    # per op index: fork kernel or None
 
 
@@ -243,23 +243,71 @@ class FusedFaultEngine:
         the fork order and each time step's lane work runs on a thread
         pool.  Results are bit-identical for every thread count (see the
         module docstring); 1 keeps the engine single-threaded.
+    schedules:
+        One :class:`~repro.faults.fault_map.FaultSchedule` per map for
+        *transient* faults, instead of ``arrays`` (exactly one of the two
+        must be given).  The per-step live-fault signatures are deduped
+        into phases; each map forks at the first layer its fault *union*
+        can touch, and the lane runners are swapped per phase, so results
+        stay bit-identical to the step-by-step sequential oracle.
+    fmt:
+        Accumulator format for the transient path; defaults to the
+        schedules' pinned format (required when the schedules do not pin
+        one).  Ignored with ``arrays``.
     """
 
-    def __init__(self, model, arrays: Sequence[SystolicArray],
+    def __init__(self, model, arrays: Optional[Sequence[SystolicArray]] = None,
                  dtype: str = "float64", plan_cache=None,
                  plan_token: Optional[str] = None,
-                 lane_threads: Optional[int] = None) -> None:
-        arrays = list(arrays)
-        if not arrays:
-            raise ValueError("FusedFaultEngine needs at least one array")
+                 lane_threads: Optional[int] = None,
+                 schedules=None, fmt=None) -> None:
+        if (arrays is None) == (schedules is None):
+            raise ValueError(
+                "FusedFaultEngine needs exactly one of arrays (permanent "
+                "faults) or schedules (transient faults)")
         self.plan: InferencePlan = (
             plan_cache.get_plan(model, token=plan_token)
             if plan_cache is not None else lower_plan(model))
         self.dtype = _check_dtype(dtype)
-        self.num_maps = len(arrays)
         self.lane_threads = resolve_lane_threads(lane_threads)
         affine_specs = self.plan.affine_specs
         ops = self.plan.ops
+
+        if schedules is not None:
+            # Transient path: dedup the joint per-step live-fault signatures
+            # into phases.  Fork structure (divergence, lanes, stash points)
+            # is computed on each schedule's *union* map -- every fault
+            # treated as permanent -- so a map's fork point never moves
+            # between phases; within a phase where a fault is dormant, the
+            # simulator's per-slice dense product is the sequential clean
+            # GEMM, keeping bits identical to the step-by-step oracle.
+            from ...faults.fault_map import schedule_phases
+            from ...systolic.fixed_point import DEFAULT_ACCUMULATOR_FORMAT
+
+            schedules = list(schedules)
+            if not schedules:
+                raise ValueError("FusedFaultEngine needs at least one schedule")
+            resolved_fmt = fmt if fmt is not None else schedules[0].fmt
+            if resolved_fmt is None:
+                resolved_fmt = DEFAULT_ACCUMULATOR_FORMAT
+            step_phase, phase_maps = schedule_phases(schedules)
+            self._step_phase: Optional[List[int]] = step_phase
+            phase_arrays = [
+                [self._array_from_map(fault_map, resolved_fmt)
+                 for fault_map in maps]
+                for maps in phase_maps]
+            structure_arrays = [
+                self._array_from_map(schedule.union_map(), resolved_fmt)
+                for schedule in schedules]
+        else:
+            arrays = list(arrays)
+            if not arrays:
+                raise ValueError("FusedFaultEngine needs at least one array")
+            self._step_phase = None
+            phase_arrays = [arrays]
+            structure_arrays = arrays
+        self.num_maps = len(structure_arrays)
+        num_phases = len(phase_arrays)
 
         # First affine ordinal whose GEMM each map's faults corrupt.  Each
         # map is probed through a single-map BatchedSystolicArray so the
@@ -267,7 +315,7 @@ class FusedFaultEngine:
         self._divergence: List[Optional[int]] = [
             self._first_affected(array, BatchedSystolicArray([array]),
                                  affine_specs)
-            for array in arrays]
+            for array in structure_arrays]
         #: Forked maps in fork-lane order (divergence layer, then map index).
         self.fork_order: List[int] = sorted(
             (f for f in range(self.num_maps) if self._divergence[f] is not None),
@@ -294,23 +342,30 @@ class FusedFaultEngine:
         self._lanes: List[_Lane] = []
         for lane_index in range(n_lanes):
             maps = self.fork_order[bounds[lane_index]:bounds[lane_index + 1]]
-            layers: List[Optional[_AffineExec]] = []
+            # layers[phase][ordinal]: the fork structure (active maps and
+            # their order) is phase-independent -- only the arrays backing
+            # the runners change with the live-fault phase.
+            layers: List[List[Optional[_AffineExec]]] = [
+                [] for _ in range(num_phases)]
             for spec in affine_specs:
                 k = spec.index
                 active = [f for f in maps if self._divergence[f] <= k]
                 if not active:
-                    layers.append(None)
+                    for phase in range(num_phases):
+                        layers[phase].append(None)
                     continue
                 prev = sum(1 for f in maps if self._divergence[f] < k)
                 key = tuple(active)
-                subset = subset_cache.get(key)
-                if subset is None:
-                    subset = BatchedSystolicArray([arrays[f] for f in active])
-                    subset_cache[key] = subset
-                runner = FaultyAffineRunner(subset,
-                                            subset.prepare_weight(spec.weight),
-                                            spec)
-                layers.append(_AffineExec(spec, runner, prev, len(active)))
+                for phase in range(num_phases):
+                    subset = subset_cache.get((phase, key))
+                    if subset is None:
+                        subset = BatchedSystolicArray(
+                            [phase_arrays[phase][f] for f in active])
+                        subset_cache[(phase, key)] = subset
+                    runner = FaultyAffineRunner(
+                        subset, subset.prepare_weight(spec.weight), spec)
+                    layers[phase].append(
+                        _AffineExec(spec, runner, prev, len(active)))
             start = op_of_affine[min(self._divergence[f] for f in maps)]
             # Fork-lane activations keep an explicit leading fault-map axis
             # ((F_lane, batch, ...)); elementwise arithmetic is unchanged but
@@ -371,6 +426,26 @@ class FusedFaultEngine:
 
     # ------------------------------------------------------------------
     @staticmethod
+    def _array_from_map(fault_map, fmt) -> SystolicArray:
+        """Build a :class:`SystolicArray` loaded with ``fault_map``."""
+
+        array = SystolicArray(fault_map.rows, fault_map.cols, fmt=fmt)
+        array.load_fault_map(fault_map)
+        return array
+
+    def _phase_for_step(self, step: int) -> int:
+        """Live-fault phase of SNN time step ``step`` (0 when permanent)."""
+
+        if self._step_phase is None:
+            return 0
+        if step >= len(self._step_phase):
+            raise ValueError(
+                f"model ran more than {len(self._step_phase)} time steps "
+                "but the transient fault schedules only cover "
+                f"{len(self._step_phase)}")
+        return self._step_phase[step]
+
+    @staticmethod
     def _first_affected(array: SystolicArray, probe: BatchedSystolicArray,
                         affine_specs: Sequence[AffineSpec]) -> Optional[int]:
         """First affine ordinal whose output the map's faults can alter.
@@ -378,8 +453,9 @@ class FusedFaultEngine:
         A layer is touched when the simulator would build at least one
         fault chain for it (asked of ``probe`` -- a single-map
         :class:`BatchedSystolicArray` -- so the feature-to-column mapping
-        and active-fault filtering stay the simulator's own), or when a
-        bypassed PE's weight mask covers any weight element.  Note a
+        and active-fault filtering stay the simulator's own), when a
+        bypassed PE's weight mask covers any weight element, or when a
+        weight-SRAM-faulty PE holds any of the layer's weights.  Note a
         populated chain counts even when no fault row falls inside a tile:
         the simulator still *recomputes* those columns through the
         segment-GEMM path, so only maps reported clean here are guaranteed
@@ -387,15 +463,18 @@ class FusedFaultEngine:
         """
 
         bypassed = array.bypassed_coordinates
+        weight_faulty = {(site.row, site.col)
+                         for site in array.weight_fault_sites()}
         for spec in affine_specs:
             out_features, in_features = spec.weight_matrix_shape
             if probe._chain_tables(out_features):
                 return spec.index
-            if bypassed:
-                mask = faulty_weight_mask(bypassed, (out_features, in_features),
-                                          array.rows, array.cols)
-                if mask.any():
-                    return spec.index
+            for coords in (bypassed, weight_faulty):
+                if coords:
+                    mask = faulty_weight_mask(coords, (out_features, in_features),
+                                              array.rows, array.cols)
+                    if mask.any():
+                        return spec.index
         return None
 
     def _reset_state(self) -> None:
@@ -462,15 +541,16 @@ class FusedFaultEngine:
         return x_c
 
     def _run_lane(self, lane: _Lane, x_v: Optional[np.ndarray], start: int,
-                  stop: int, stash: Dict[int, np.ndarray]
+                  stop: int, stash: Dict[int, np.ndarray], phase: int
                   ) -> Optional[np.ndarray]:
         """Advance one lane's fork activations over ops ``[start, stop)``."""
 
         ops = self.plan.ops
+        layers = lane.layers[phase]
         for i in range(max(start, lane.start), stop):
             op = ops[i]
             if isinstance(op, AffineSpec):
-                layer = lane.layers[op.index]
+                layer = layers[op.index]
                 if layer is not None:
                     x_v = self._fork_affine(layer, stash.get(i), x_v)
             elif x_v is not None:
@@ -492,22 +572,29 @@ class FusedFaultEngine:
         self._reset_state()
         acc_c: Optional[np.ndarray] = None
         lane_accs: List[Optional[np.ndarray]] = [None] * len(self._lanes)
-        cached: Optional[Tuple] = None
+        cached_clean: Optional[Tuple] = None
+        cached_lane: Dict[int, List] = {}
         steps = 0
         for frame in _iter_frames(x0, self.plan.time_steps):
-            if static and cached is not None:
-                x_c0, lane_x0 = cached
+            phase = self._phase_for_step(steps)
+            if static and cached_clean is not None:
+                x_c0, prefix_stash = cached_clean
             else:
                 # The prefix is stateless, so for static inputs it runs
-                # once; its per-lane outputs are computed in parallel too
-                # (most maps fork at the first -- in-prefix -- affine).
+                # once (the clean prefix is phase-independent; lane prefix
+                # outputs are cached per live-fault phase below).
                 prefix_stash: Dict[int, np.ndarray] = {}
                 x_c0 = self._run_clean(frame, 0, self._prefix, prefix_stash)
+                if static:
+                    cached_clean = (x_c0, prefix_stash)
+            lane_x0 = cached_lane.get(phase) if static else None
+            if lane_x0 is None:
                 lane_x0 = self._map_lanes(
                     lambda index: self._run_lane(self._lanes[index], None, 0,
-                                                 self._prefix, prefix_stash))
+                                                 self._prefix, prefix_stash,
+                                                 phase))
                 if static:
-                    cached = (x_c0, lane_x0)
+                    cached_lane[phase] = lane_x0
             # Serial clean pass first (it produces the fork-entry
             # activations), then every lane's tail in parallel.  Each lane
             # accumulates into its own slot, so the reduction order is
@@ -515,10 +602,11 @@ class FusedFaultEngine:
             stash: Dict[int, np.ndarray] = {}
             x_c = self._run_clean(x_c0, self._prefix, n_ops, stash)
             step = steps
+            lane_inputs = lane_x0
 
             def lane_tail(index: int) -> None:
-                x_v = self._run_lane(self._lanes[index], lane_x0[index],
-                                     self._prefix, n_ops, stash)
+                x_v = self._run_lane(self._lanes[index], lane_inputs[index],
+                                     self._prefix, n_ops, stash, phase)
                 acc = lane_accs[index]
                 if step == 0 or acc is None:
                     lane_accs[index] = x_v.astype(self.dtype, copy=True)

@@ -54,6 +54,35 @@ class FaultSite:
     fault: object  # StuckAtFault (duck-typed: needs .apply(values, fmt))
 
 
+def apply_weight_faults(weight_matrix: np.ndarray, sites: Sequence[FaultSite],
+                        rows: int, cols: int,
+                        fmt: FixedPointFormat) -> np.ndarray:
+    """Corrupt the weight elements stored in weight-SRAM-faulty PEs.
+
+    Every weight element mapped to a faulty PE (weight-stationary mapping:
+    element ``(o, i)`` lives in PE ``(i % rows, o % cols)``) is quantised
+    to ``fmt``, has the fault's bit forced, and is dequantised -- once,
+    before the GEMM.  Sites are applied in ``(row, col)`` order; their
+    element masks are disjoint (one PE per site), so the order cannot
+    change the result, but pinning it keeps every execution path
+    byte-identical by construction.  This single function is the one
+    implementation shared by the sequential oracle and the batched /
+    fused engines.
+    """
+
+    if not sites:
+        return weight_matrix
+    from .mapping import faulty_weight_mask
+
+    effective = weight_matrix
+    for site in sorted(sites, key=lambda s: (s.row, s.col)):
+        mask = faulty_weight_mask({(site.row, site.col)}, weight_matrix.shape,
+                                  rows, cols)
+        if mask.any():
+            effective = np.where(mask, site.fault.apply(effective, fmt), effective)
+    return effective
+
+
 class SystolicArray:
     """A weight-stationary ``rows x cols`` systolic array with optional faults.
 
@@ -145,16 +174,31 @@ class SystolicArray:
     # Faulty linear algebra
     # ------------------------------------------------------------------
     def _active_faults_by_column(self) -> Dict[int, List[FaultSite]]:
-        """Faults that are not masked by a bypass, grouped by column, sorted by row."""
+        """Active *datapath* faults, grouped by column, sorted by row.
+
+        Bypassed PEs are masked, and weight-SRAM faults are excluded: they
+        corrupt the stored weights ahead of the GEMM (see
+        :meth:`weight_fault_sites`), not the accumulation chains.
+        """
 
         by_col: Dict[int, List[FaultSite]] = {}
         for site in self._fault_sites:
             if (site.row, site.col) in self._bypassed:
                 continue
+            if getattr(site.fault, "corrupts_weights", False):
+                continue
             by_col.setdefault(site.col, []).append(site)
         for sites in by_col.values():
             sites.sort(key=lambda s: s.row)
         return by_col
+
+    def weight_fault_sites(self) -> List[FaultSite]:
+        """Active weight-SRAM fault sites (bypass masks them), sorted by PE."""
+
+        sites = [site for site in self._fault_sites
+                 if getattr(site.fault, "corrupts_weights", False)
+                 and (site.row, site.col) not in self._bypassed]
+        return sorted(sites, key=lambda s: (s.row, s.col))
 
     def _bypass_mask_for_weight(self, weight_matrix: np.ndarray) -> Optional[np.ndarray]:
         """Mask of weight elements whose PE is bypassed (contribution skipped)."""
@@ -190,10 +234,14 @@ class SystolicArray:
             raise ValueError(
                 f"input feature mismatch: weight expects {in_features}, got {inputs.shape[1]}")
 
-        effective_weight = weight_matrix
+        # Weight-SRAM corruption first (stored weights are corrupted before
+        # anything flows through the array), then bypass zeroing on top.
+        effective_weight = apply_weight_faults(weight_matrix,
+                                               self.weight_fault_sites(),
+                                               self.rows, self.cols, self.fmt)
         bypass_mask = self._bypass_mask_for_weight(weight_matrix)
         if bypass_mask is not None:
-            effective_weight = np.where(bypass_mask, 0.0, weight_matrix)
+            effective_weight = np.where(bypass_mask, 0.0, effective_weight)
 
         faults_by_col = self._active_faults_by_column()
         if not faults_by_col:
@@ -404,7 +452,9 @@ class BatchedSystolicArray:
         # Immutable snapshot of each map's active (non-bypassed) faults.
         self._faults_by_col = [array._active_faults_by_column() for array in arrays]
         self._bypassed = [array.bypassed_coordinates for array in arrays]
+        self._weight_faults = [array.weight_fault_sites() for array in arrays]
         self._any_bypass = any(self._bypassed)
+        self._any_weight_faults = any(self._weight_faults)
         self._any_faults = any(self._faults_by_col)
         # Shape-keyed caches of the static chain structure.
         self._out_idx_cache: Dict[int, List[np.ndarray]] = {}
@@ -540,12 +590,17 @@ class BatchedSystolicArray:
         weight_matrix = as_weight_matrix(weight).astype(np.float64)
         out_features, in_features = weight_matrix.shape
 
-        if self._any_bypass:
+        if self._any_bypass or self._any_weight_faults:
             effective_weights = []
             for index in range(self.num_maps):
+                # Same order as the sequential oracle: weight-SRAM
+                # corruption first, bypass zeroing on top.
+                effective = apply_weight_faults(weight_matrix,
+                                                self._weight_faults[index],
+                                                self.rows, self.cols, self.fmt)
                 mask = self._bypass_mask(index, weight_matrix.shape)
                 effective_weights.append(
-                    weight_matrix if mask is None else np.where(mask, 0.0, weight_matrix))
+                    effective if mask is None else np.where(mask, 0.0, effective))
             # Kept as a transposed view: the GEMM's B operand must have the
             # same memory order as the sequential ``inputs @ w.T`` for the
             # per-slice results to be bit-identical.

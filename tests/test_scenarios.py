@@ -1,0 +1,214 @@
+"""Tests for the declarative scenario registry and its CLI integration."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import (
+    SCENARIOS,
+    Scenario,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    run_scenario,
+    scenario_from_json,
+)
+from repro.systolic import DEFAULT_ACCUMULATOR_FORMAT
+
+
+def make_scenario(**overrides):
+    payload = dict(name="test-scenario", dataset="mnist", sweep="counts",
+                   values=[2, 4], trials=2)
+    payload.update(overrides)
+    return Scenario.from_dict(payload)
+
+
+class TestScenarioValidation:
+    def test_round_trip_through_json(self):
+        scenario = get_scenario("nmnist-transient-bernoulli")
+        restored = scenario_from_json(scenario.to_json())
+        assert restored == scenario
+
+    def test_round_trip_preserves_fault_params(self):
+        scenario = make_scenario(fault_model="transient",
+                                 fault_params={"process": "burst",
+                                               "burst_length": 2})
+        restored = Scenario.from_dict(json.loads(scenario.to_json()))
+        assert restored.fault_params == scenario.fault_params
+        assert dict(restored.fault_params)["process"] == "burst"
+
+    def test_unknown_key_rejected_with_options(self):
+        with pytest.raises(ValueError, match="unknown key.*typo_key.*options"):
+            make_scenario(typo_key=1)
+
+    def test_missing_fields_all_reported_at_once(self):
+        with pytest.raises(ValueError, match="missing required field"):
+            Scenario.from_dict({"name": "x"})
+        with pytest.raises(ValueError) as excinfo:
+            Scenario.from_dict({"name": "x"})
+        message = str(excinfo.value)
+        assert "dataset" in message and "sweep" in message and "values" in message
+
+    def test_non_dict_payload_rejected(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            Scenario.from_dict(["not", "a", "dict"])
+        with pytest.raises(ValueError, match="parse"):
+            scenario_from_json("{not json")
+
+    @pytest.mark.parametrize("field,value,match", [
+        ("dataset", "cifar", "unknown dataset"),
+        ("sweep", "volts", "unknown sweep"),
+        ("scale", "huge", "unknown scale"),
+        ("fault_model", "cosmic", "unknown fault model"),
+        ("mitigation", "prayer", "unknown mitigation"),
+        ("values", [], "non-empty"),
+        ("values", "abc", "non-empty"),
+        ("trials", 0, "positive"),
+    ])
+    def test_field_validation(self, field, value, match):
+        with pytest.raises(ValueError, match=match):
+            make_scenario(**{field: value})
+
+    def test_bypass_of_transient_rejected(self):
+        with pytest.raises(ValueError, match="bypass.*transient"):
+            make_scenario(fault_model="transient", mitigation="bypass")
+
+    def test_fault_params_need_transient_model(self):
+        with pytest.raises(ValueError, match="fault_params"):
+            make_scenario(fault_params={"rate": 0.5})
+
+    def test_unknown_config_override_rejected(self):
+        with pytest.raises(ValueError, match="config_overrides"):
+            make_scenario(config_overrides={"bogus_field": 1})
+
+
+class TestRegistry:
+    def test_builtin_scenarios_registered(self):
+        names = {scenario.name for scenario in list_scenarios()}
+        assert {"nmnist-transient-bernoulli",
+                "dvs-gesture-transient-burst"} <= names
+
+    def test_get_unknown_lists_available(self):
+        with pytest.raises(ValueError) as excinfo:
+            get_scenario("does-not-exist")
+        message = str(excinfo.value)
+        assert "does-not-exist" in message
+        for scenario in list_scenarios():
+            assert scenario.name in message
+
+    def test_register_refuses_to_clobber(self):
+        scenario = make_scenario(name="clobber-check")
+        register_scenario(scenario)
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                register_scenario(scenario)
+            register_scenario(scenario, replace=True)
+        finally:
+            SCENARIOS.pop("clobber-check", None)
+
+
+class TestCampaignGrid:
+    def test_grid_matches_sweep_driver(self):
+        from repro.faults import pe_count_points
+        from repro.utils.rng import derive_seed
+
+        scenario = make_scenario(fault_model="transient",
+                                 fault_params={"process": "bernoulli"})
+        config = scenario.build_config()
+        points = scenario.campaign_points(config)
+        expected = pe_count_points(
+            rows=config.array_rows, cols=config.array_cols, counts=[2, 4],
+            bit_position=DEFAULT_ACCUMULATOR_FORMAT.magnitude_msb,
+            trials=2, stuck_type="sa1", dataset="mnist",
+            seed=derive_seed(config.seed, "fig5b"),
+            fault_model="transient",
+            fault_params={"process": "bernoulli",
+                          "num_steps": config.time_steps})
+        assert points == expected
+
+    def test_transient_num_steps_defaults_to_config(self):
+        scenario = make_scenario(fault_model="transient",
+                                 fault_params={"process": "burst"})
+        config = scenario.build_config()
+        params = dict(scenario.campaign_points(config)[0].fault_params)
+        assert params["num_steps"] == config.time_steps
+
+    def test_explicit_num_steps_wins(self):
+        scenario = make_scenario(fault_model="transient",
+                                 fault_params={"process": "burst",
+                                               "num_steps": 2})
+        params = dict(scenario.campaign_points()[0].fault_params)
+        assert params["num_steps"] == 2
+
+    def test_seed_override_changes_map_seeds(self):
+        base = make_scenario().campaign_points()
+        seeded = make_scenario(seed=99).campaign_points()
+        assert base[0].map_seeds != seeded[0].map_seeds
+
+    def test_all_sweeps_build_grids(self):
+        bits = make_scenario(sweep="bits", values=[0, 14]).campaign_points()
+        counts = make_scenario().campaign_points()
+        sizes = make_scenario(sweep="sizes", values=[8, 16]).campaign_points()
+        assert [p.label for p in bits] == ["bit_sweep", "bit_sweep"]
+        assert [p.num_faulty for p in counts] == [2, 4]
+        assert [p.rows for p in sizes] == [8, 16]
+
+
+class TestCli:
+    def test_scenario_flag_parses(self):
+        args = build_parser().parse_args(
+            ["campaign", "--scenario", "nmnist-transient-bernoulli"])
+        assert args.sweep is None
+        assert args.scenario == "nmnist-transient-bernoulli"
+
+    def test_unknown_scenario_lists_available(self, capsys):
+        assert main(["campaign", "--scenario", "definitely-not-real"]) == 2
+        err = capsys.readouterr().err
+        assert "definitely-not-real" in err
+        assert "nmnist-transient-bernoulli" in err
+
+    def test_sweep_and_scenario_are_exclusive(self, capsys):
+        assert main(["campaign", "counts", "--scenario",
+                     "nmnist-transient-bernoulli"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_campaign_requires_sweep_or_scenario(self, capsys):
+        assert main(["campaign"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_list_scenarios_command(self, capsys):
+        assert main(["campaign", "--list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        for scenario in list_scenarios():
+            assert scenario.name in out
+
+    def test_scenario_end_to_end(self, tmp_path, capsys):
+        out_file = tmp_path / "scenario.json"
+        code = main(["campaign", "--scenario", "mnist-transient-bernoulli",
+                     "--seed", "13", "--out", str(out_file)])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "mnist-transient-bernoulli" in captured
+        payload = json.loads(out_file.read_text())
+        assert [record["num_faulty_pes"] for record in payload] == [0, 2, 4, 8]
+        assert all(0.0 <= record["accuracy"] <= 1.0 for record in payload)
+
+
+class TestRunScenario:
+    def test_run_scenario_accepts_name_and_overrides(self):
+        # Shrink the built-in scenario via config_overrides so the test can
+        # reuse the cached baseline trained by the CLI test (same config).
+        records = run_scenario("mnist-transient-bernoulli",
+                               config_overrides={"seed": 13})
+        assert [record["num_faulty_pes"] for record in records] == [0, 2, 4, 8]
+
+    def test_run_scenario_engines_agree(self, tmp_path):
+        scenario = make_scenario(name="engine-agreement",
+                                 fault_model="transient",
+                                 fault_params={"process": "bernoulli",
+                                               "rate": 0.5},
+                                 values=[2], seed=13)
+        fused = run_scenario(scenario, engine="fused")
+        sequential = run_scenario(scenario, engine="sequential")
+        assert fused == sequential
