@@ -8,8 +8,9 @@ reports:
   the fused engine's speedup over the batched autograd engine,
 * the fused engine's machine-relative ratios for the chain fast path vs
   the untiled reference, prefix-level batching vs per-group application,
-  2 fork lanes vs 1 (the bit-safe intra-sweep parallelism knob), and the
-  stuck-at sweep vs the same sweep under transient (SEU) schedules,
+  2 fork lanes vs 1 (the bit-safe intra-sweep parallelism knob), the
+  stuck-at sweep vs the same sweep under transient (SEU) schedules, and
+  the compiled cffi kernel backend vs the numpy oracle backend,
 * that all engines produce **identical** records (same accuracies, same
   seeds -- the float64 bit-identity guarantee), including the transient
   sweep (phase-aware fused engine vs the per-schedule sequential oracle),
@@ -103,9 +104,9 @@ def run_sweep_interleaved(model, loader, configs, rounds=3):
     """Best-of-``rounds`` sweep cost per config, measured round-robin.
 
     ``configs`` maps label -> (engine, chain_fastpath, prefix_batch, dtype,
-    lane_threads, fault_model).  Interleaving the configurations (instead
-    of timing each one back to back) keeps a load spike on a shared CI box
-    from billing one configuration only.
+    lane_threads, fault_model, backend).  Interleaving the configurations
+    (instead of timing each one back to back) keeps a load spike on a
+    shared CI box from billing one configuration only.
     """
 
     from repro.systolic import chain_kernel
@@ -116,7 +117,7 @@ def run_sweep_interleaved(model, loader, configs, rounds=3):
     try:
         for _ in range(rounds):
             for label, (engine, fastpath, prefix, dtype, lane_threads,
-                        fault_model) in configs.items():
+                        fault_model, backend) in configs.items():
                 chain_kernel.FASTPATH_ENABLED = fastpath
                 chain_kernel.PREFIX_BATCH_ENABLED = prefix
                 params = TRANSIENT_PARAMS if fault_model == "transient" else None
@@ -127,7 +128,8 @@ def run_sweep_interleaved(model, loader, configs, rounds=3):
                     counts=COUNTS, trials=TRIALS, seed=CAMPAIGN_CONFIG.seed,
                     dataset="mnist", engine=engine, dtype=dtype,
                     lane_threads=lane_threads,
-                    fault_model=fault_model, fault_params=params)
+                    fault_model=fault_model, fault_params=params,
+                    backend=backend)
                 times[label] = min(times[label], time.perf_counter() - start)
     finally:
         chain_kernel.FASTPATH_ENABLED, chain_kernel.PREFIX_BATCH_ENABLED = saved
@@ -135,22 +137,35 @@ def run_sweep_interleaved(model, loader, configs, rounds=3):
 
 
 def test_bench_campaign_engines(campaign_setup):
+    from repro.snn.inference import available_backends
+
     model, loader = campaign_setup
+    have_cffi = "cffi" in available_backends()
     # Warm-up pass so BLAS thread pools / allocators do not bill the first
-    # timed engine.
+    # timed engine; the cffi warm-up additionally absorbs the one-time lazy
+    # build (or cached-.so load) of the compiled extension.
     run_sweep(model, loader, "fused")
+    if have_cffi:
+        sweep_faulty_pe_count(
+            model, loader,
+            rows=CAMPAIGN_CONFIG.array_rows, cols=CAMPAIGN_CONFIG.array_cols,
+            counts=COUNTS, trials=TRIALS, seed=CAMPAIGN_CONFIG.seed,
+            dataset="mnist", engine="fused", backend="cffi")
 
     configs = {
-        "sequential": ("sequential", True, True, "float64", None, "stuck_at"),
-        "batched": ("batched", True, True, "float64", None, "stuck_at"),
-        "fused": ("fused", True, True, "float64", None, "stuck_at"),
-        "fused-chainref": ("fused", False, True, "float64", None, "stuck_at"),
-        "fused-noprefix": ("fused", True, False, "float64", None, "stuck_at"),
-        "fused-lane2": ("fused", True, True, "float64", 2, "stuck_at"),
-        "fused-f32": ("fused", True, True, "float32", None, "stuck_at"),
-        "sequential-seu": ("sequential", True, True, "float64", None, "transient"),
-        "fused-seu": ("fused", True, True, "float64", None, "transient"),
+        "sequential": ("sequential", True, True, "float64", None, "stuck_at", None),
+        "batched": ("batched", True, True, "float64", None, "stuck_at", None),
+        "fused": ("fused", True, True, "float64", None, "stuck_at", None),
+        "fused-chainref": ("fused", False, True, "float64", None, "stuck_at", None),
+        "fused-noprefix": ("fused", True, False, "float64", None, "stuck_at", None),
+        "fused-lane2": ("fused", True, True, "float64", 2, "stuck_at", None),
+        "fused-f32": ("fused", True, True, "float32", None, "stuck_at", None),
+        "sequential-seu": ("sequential", True, True, "float64", None, "transient", None),
+        "fused-seu": ("fused", True, True, "float64", None, "transient", None),
     }
+    if have_cffi:
+        configs["fused-cffi"] = (
+            "fused", True, True, "float64", None, "stuck_at", "cffi")
     records, times = run_sweep_interleaved(model, loader, configs, rounds=5)
 
     fused_vs_batched = times["batched"] / times["fused"]
@@ -158,10 +173,14 @@ def test_bench_campaign_engines(campaign_setup):
     prefix_speedup = times["fused-noprefix"] / times["fused"]
     lane_speedup = times["fused"] / times["fused-lane2"]
     transient_ratio = times["fused"] / times["fused-seu"]
+    backend_speedup = (times["fused"] / times["fused-cffi"]
+                       if have_cffi else None)
     rows = []
-    for engine in ("sequential", "batched", "fused", "fused-chainref",
-                   "fused-noprefix", "fused-lane2", "fused-f32",
-                   "sequential-seu", "fused-seu"):
+    for engine in ("sequential", "batched", "fused", "fused-cffi",
+                   "fused-chainref", "fused-noprefix", "fused-lane2",
+                   "fused-f32", "sequential-seu", "fused-seu"):
+        if engine not in times:
+            continue
         rows.append({
             "engine": engine, "points": len(COUNTS), "trials": TRIALS,
             "fault_maps": (len(COUNTS) - 1) * TRIALS,
@@ -174,17 +193,24 @@ def test_bench_campaign_engines(campaign_setup):
                  and records["fused-chainref"] == records["sequential"]
                  and records["fused-noprefix"] == records["sequential"]
                  and records["fused-lane2"] == records["sequential"]
+                 # The compiled backend must reproduce the oracle's records.
+                 and ("fused-cffi" not in records
+                      or records["fused-cffi"] == records["sequential"])
                  # The transient (SEU) schedule sweep: the phase-aware fused
                  # engine must match the per-schedule sequential oracle.
                  and records["fused-seu"] == records["sequential-seu"])
     table = format_table(rows, columns=["engine", "points", "trials", "fault_maps",
                                         "seconds", "speedup", "vs_batched"],
                          title="Campaign engines: Fig. 5b sweep cost")
+    backend_note = (f"cffi backend vs numpy: {backend_speedup:.2f}x; "
+                    if backend_speedup is not None else
+                    "cffi backend vs numpy: n/a (backend unavailable); ")
     summary = (f"fused vs batched (this run): {fused_vs_batched:.2f}x; "
                f"chain fast path vs untiled reference: {fastpath_speedup:.2f}x; "
                f"prefix batching vs per-group: {prefix_speedup:.2f}x; "
                f"2 fork lanes vs 1: {lane_speedup:.2f}x; "
                f"stuck-at fused vs transient fused: {transient_ratio:.2f}x; "
+               + backend_note +
                f"fused vs PR 1 recorded batched ({PR1_BATCHED_SECONDS:.3f}s): "
                f"{PR1_BATCHED_SECONDS / times['fused']:.2f}x")
     print("\n" + table + "\n" + summary)
@@ -204,18 +230,23 @@ def test_bench_campaign_engines(campaign_setup):
         "prefix_batch_speedup": prefix_speedup,
         "lane_speedup": lane_speedup,
         "transient_overhead": transient_ratio,
+        **({"backend_speedup": backend_speedup}
+           if backend_speedup is not None else {}),
         "note": "identical_records pins float64 bit-identity across all "
                 "engines, both chain paths, prefix batching on/off, "
-                "1 vs 2 fork lanes, and the transient (SEU) schedule sweep "
+                "1 vs 2 fork lanes, the compiled cffi kernel backend, and "
+                "the transient (SEU) schedule sweep "
                 "(phase-aware fused vs per-schedule sequential); the "
                 "*_speedup entries are cold Fig. 5b sweep cost ratios "
                 "measured within this run (machine-relative): untiled "
                 "reference chain path over the uniform-tile fast path, "
-                "per-group application over prefix-level batching, and one "
-                "fork lane over two; transient_overhead is the stuck-at "
-                "fused sweep cost over the transient-schedule fused sweep "
-                "cost (a drop means the transient path got relatively "
-                "slower)",
+                "per-group application over prefix-level batching, one "
+                "fork lane over two, and the numpy oracle backend over the "
+                "compiled cffi backend (backend_speedup, present only when "
+                "the cffi backend is available); transient_overhead is the "
+                "stuck-at fused sweep cost over the transient-schedule "
+                "fused sweep cost (a drop means the transient path got "
+                "relatively slower)",
     }], RESULTS_DIR / "campaign_engine.json")
 
     # The acceptance property: identical records across all three engines,
@@ -245,6 +276,12 @@ def test_bench_campaign_engines(campaign_setup):
     # machine-relative by check_regression.py.
     assert transient_ratio >= 0.15, \
         f"transient sweep cost {1 / transient_ratio:.2f}x over stuck-at"
+    # The compiled backend must never lose to the numpy oracle on the cold
+    # sweep (conservative in-run floor; the recorded ratio -- >= 1.15x on
+    # the reference box -- is gated machine-relative by check_regression.py).
+    if backend_speedup is not None:
+        assert backend_speedup >= 1.0, \
+            f"cffi backend only {backend_speedup:.2f}x over the numpy oracle"
 
 
 def test_bench_campaign_cache_hit(campaign_setup, tmp_path):

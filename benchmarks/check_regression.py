@@ -16,9 +16,10 @@ Rules (the documented gate policy):
   the same run's sequential oracle) for the batched and fused engines,
   and the ``meta`` ratios ``chain_fastpath_speedup`` (untiled reference
   chain path over the uniform-tile fast path), ``prefix_batch_speedup``
-  (per-group chain application over prefix-level batching) and
-  ``lane_speedup`` (one fork lane over two) -- each gated only when both
-  the fresh and the recorded run report it.  Each fresh ratio must be at
+  (per-group chain application over prefix-level batching),
+  ``lane_speedup`` (one fork lane over two) and ``backend_speedup`` (the
+  numpy oracle backend over the compiled cffi backend) -- each gated only
+  when both the fresh and the recorded run report it.  Each fresh ratio must be at
   least ``(1 - tolerance)`` times the recorded one; the default tolerance
   is 30%, sized for noisy shared CI boxes (single-run ratios can swing
   roughly 10-20%; a real fast-path regression costs 2x+).
@@ -115,6 +116,7 @@ def main(argv=None) -> int:
         ("prefix_batch_speedup", "prefix batching"),
         ("lane_speedup", "lane threads"),
         ("transient_overhead", "transient path"),
+        ("backend_speedup", "cffi backend"),
     )
     for key, label in gated_ratios:
         if meta and key in meta and key in recorded_meta:

@@ -148,8 +148,14 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
                         help="fused-engine fork-lane threads per evaluation "
                              "(default: $REPRO_LANE_THREADS or 1; inside a "
                              "--workers pool an unset value stays 1 so the "
-                             "pools compose).  Records are byte-identical "
-                             "for every value")
+                             "pools compose; 0 auto-sizes from the forked-"
+                             "map count and the CPU count).  Records are "
+                             "byte-identical for every value")
+    parser.add_argument("--backend", default=None, metavar="NAME",
+                        help="fused-engine kernel backend (default: "
+                             "$REPRO_BACKEND or 'numpy'; 'cffi' compiles the "
+                             "fused C kernels on first use).  float64 "
+                             "records are byte-identical across backends")
     parser.add_argument("--cache-dir", default=None,
                         help="directory for on-disk result caching (doubles "
                              "as the shard coordination layer)")
@@ -261,6 +267,7 @@ def _engine_kwargs_for(runner, args: argparse.Namespace) -> dict:
                "shard": args.shard, "trial_chunk": args.trial_chunk,
                "unit_timeout": args.unit_timeout,
                "lane_threads": args.lane_threads,
+               "backend": args.backend,
                "plan_cache": not args.no_plan_cache}
     if args.workers > 1 or args.shard is not None:
         options["progress"] = _print_progress
@@ -327,6 +334,7 @@ def _cmd_campaign_scenario(args: argparse.Namespace) -> int:
                           shard=args.shard, trial_chunk=args.trial_chunk,
                           unit_timeout=args.unit_timeout,
                           lane_threads=args.lane_threads,
+                          backend=args.backend,
                           plan_cache=not args.no_plan_cache)
     if args.workers > 1 or args.shard is not None:
         engine_options["progress"] = _print_progress
@@ -393,6 +401,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                           shard=args.shard, trial_chunk=args.trial_chunk,
                           unit_timeout=args.unit_timeout,
                           lane_threads=args.lane_threads,
+                          backend=args.backend,
                           plan_cache=not args.no_plan_cache)
     if args.workers > 1 or args.shard is not None:
         engine_options["progress"] = _print_progress

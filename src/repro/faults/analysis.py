@@ -62,14 +62,15 @@ def baseline_accuracy(model, loader) -> float:
 def _make_runner(model, loader, fmt: FixedPointFormat, engine: str,
                  workers: int, cache_dir, dtype: str, shard, trial_chunk,
                  progress, lane_threads=None, plan_cache=True,
-                 unit_timeout=None, bypass=False) -> CampaignRunner:
+                 unit_timeout=None, bypass=False,
+                 backend=None) -> CampaignRunner:
     return CampaignRunner(model, loader, fmt=fmt, engine=engine,
                           workers=workers, cache_dir=cache_dir, dtype=dtype,
                           bypass=bypass,
                           shard=shard, trial_chunk=trial_chunk,
                           unit_timeout=unit_timeout,
                           progress=progress, lane_threads=lane_threads,
-                          plan_cache=plan_cache)
+                          plan_cache=plan_cache, backend=backend)
 
 
 def _normalize_fault_model(fault_model: str, fault_params) -> tuple:
@@ -172,7 +173,8 @@ def sweep_bit_locations(model, loader, *,
                         unit_timeout=None,
                         fault_model: str = "stuck_at",
                         fault_params=None,
-                        bypass: bool = False) -> List[dict]:
+                        bypass: bool = False,
+                        backend=None) -> List[dict]:
     """Accuracy versus fault bit location and polarity (Fig. 5a).
 
     For each (bit position, stuck-at polarity) pair, ``trials`` random fault
@@ -185,7 +187,7 @@ def sweep_bit_locations(model, loader, *,
 
     runner = _make_runner(model, loader, fmt, engine, workers, cache_dir,
                           dtype, shard, trial_chunk, progress, lane_threads,
-                          plan_cache, unit_timeout, bypass)
+                          plan_cache, unit_timeout, bypass, backend)
     points = bit_sweep_points(
         rows=rows, cols=cols, bit_positions=bit_positions,
         stuck_types=stuck_types, num_faulty=num_faulty, trials=trials,
@@ -224,7 +226,8 @@ def sweep_faulty_pe_count(model, loader, *,
                           unit_timeout=None,
                           fault_model: str = "stuck_at",
                           fault_params=None,
-                          bypass: bool = False) -> List[dict]:
+                          bypass: bool = False,
+                          backend=None) -> List[dict]:
     """Accuracy versus number of faulty PEs (Fig. 5b).
 
     Faults are injected in the higher-order accumulator bits (worst case), and
@@ -238,7 +241,7 @@ def sweep_faulty_pe_count(model, loader, *,
         bit_position = fmt.magnitude_msb
     runner = _make_runner(model, loader, fmt, engine, workers, cache_dir,
                           dtype, shard, trial_chunk, progress, lane_threads,
-                          plan_cache, unit_timeout, bypass)
+                          plan_cache, unit_timeout, bypass, backend)
     points = pe_count_points(
         rows=rows, cols=cols, counts=counts, bit_position=bit_position,
         trials=trials, stuck_type=stuck_type, dataset=dataset, seed=seed,
@@ -289,7 +292,8 @@ def sweep_array_sizes(model, loader, *,
                       unit_timeout=None,
                       fault_model: str = "stuck_at",
                       fault_params=None,
-                      bypass: bool = False) -> List[dict]:
+                      bypass: bool = False,
+                      backend=None) -> List[dict]:
     """Accuracy versus systolic array size at a fixed number of faulty PEs (Fig. 5c).
 
     Smaller arrays are reused more heavily (more weights per PE), so the same
@@ -302,7 +306,7 @@ def sweep_array_sizes(model, loader, *,
         bit_position = fmt.magnitude_msb
     runner = _make_runner(model, loader, fmt, engine, workers, cache_dir,
                           dtype, shard, trial_chunk, progress, lane_threads,
-                          plan_cache, unit_timeout, bypass)
+                          plan_cache, unit_timeout, bypass, backend)
     points = array_size_points(
         sizes=sizes, bit_position=bit_position, num_faulty=num_faulty,
         trials=trials, stuck_type=stuck_type, dataset=dataset, seed=seed,

@@ -490,8 +490,17 @@ class CampaignRunner:
         inside an orchestrated pool (``workers > 1``) an unset knob
         defaults to one lane per worker, so the fork pool and the thread
         pool compose without oversubscribing the machine.  An explicit
-        value is honoured everywhere.  Values > 1 require the fused
-        engine.
+        value is honoured everywhere; ``0`` auto-sizes lanes per engine
+        from the forked-map count and ``os.cpu_count()``.  Non-default
+        values require the fused engine.
+    backend:
+        Kernel backend of the fused engine (``None`` resolves
+        ``REPRO_BACKEND``, default ``"numpy"``).  Resolved once here in
+        the parent process -- orchestrated workers inherit the resolved
+        name, never re-consult the environment.  float64 records are
+        byte-identical across backends (the numpy path is the oracle), so
+        the backend never enters cache keys -- exactly the
+        ``lane_threads`` rule.  Requires the fused engine.
     plan_cache:
         Per-process cache of the lowered inference plan, keyed by the
         model token.  ``True`` (default) uses the process-wide
@@ -518,7 +527,8 @@ class CampaignRunner:
                  unit_timeout: Optional[float] = None,
                  progress: Optional[Callable[[dict], None]] = None,
                  lane_threads: Optional[int] = None,
-                 plan_cache=True) -> None:
+                 plan_cache=True,
+                 backend: Optional[str] = None) -> None:
         if engine not in ENGINES:
             raise ValueError(f"unknown engine '{engine}'; options: {ENGINES}")
         if dtype not in DTYPES:
@@ -527,10 +537,23 @@ class CampaignRunner:
             raise ValueError("dtype='float32' requires the fused engine")
         if lane_threads is not None:
             lane_threads = int(lane_threads)
-            if lane_threads < 1:
-                raise ValueError("lane_threads must be at least 1")
-            if lane_threads > 1 and engine != "fused":
-                raise ValueError("lane_threads > 1 requires the fused engine")
+            if lane_threads < 0:
+                raise ValueError(
+                    "lane_threads must be >= 0 (0 = auto-size)")
+            if lane_threads != 1 and engine != "fused":
+                raise ValueError(
+                    "lane_threads overrides require the fused engine")
+        if backend is not None and engine != "fused":
+            raise ValueError("backend overrides require the fused engine")
+        if engine == "fused":
+            # Resolve once (arg > REPRO_BACKEND > numpy) so orchestrated
+            # workers inherit the parent's choice instead of re-reading
+            # the environment; an unavailable explicit backend fails here,
+            # before any work is scheduled.
+            from ..snn.inference import resolve_backend_name
+
+            backend = resolve_backend_name(backend)
+        self.backend = backend
         self.model = model
         self.loader = loader
         self.fmt = fmt
@@ -593,7 +616,8 @@ class CampaignRunner:
 
                 self._baseline = FusedInferenceEngine(
                     self.model, dtype=self.dtype, plan_cache=self.plan_cache,
-                    plan_token=self._model_token).evaluate(self.loader)
+                    plan_token=self._model_token,
+                    backend=self.backend).evaluate(self.loader)
             else:
                 from .analysis import baseline_accuracy
                 self._baseline = baseline_accuracy(self.model, self.loader)
@@ -637,7 +661,8 @@ class CampaignRunner:
             self.model, self.loader, schedules, fmt=self.fmt,
             engine=self.engine, dtype=self.dtype,
             plan_cache=self.plan_cache, plan_token=self._model_token,
-            lane_threads=self._effective_lane_threads)
+            lane_threads=self._effective_lane_threads,
+            backend=self.backend)
 
     def _evaluate_point(self, point: CampaignPoint) -> dict:
         """Simulate one grid point (no cache) and return its record."""
@@ -653,7 +678,8 @@ class CampaignRunner:
                 engine="fused" if self.engine == "fused" else "autograd",
                 dtype=self.dtype, plan_cache=self.plan_cache,
                 plan_token=self._model_token,
-                lane_threads=self._effective_lane_threads)
+                lane_threads=self._effective_lane_threads,
+                backend=self.backend)
         else:
             maps = point.build_fault_maps(self.fmt)
             accuracies = [
@@ -704,7 +730,8 @@ class CampaignRunner:
                         engine="fused" if self.engine == "fused" else "autograd",
                         dtype=self.dtype, plan_cache=self.plan_cache,
                         plan_token=self._model_token,
-                        lane_threads=self._effective_lane_threads)
+                        lane_threads=self._effective_lane_threads,
+                        backend=self.backend)
                 offset = 0
                 for index, items in chunk:
                     results[index] = self._record_for(

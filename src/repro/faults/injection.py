@@ -54,13 +54,16 @@ TRANSIENT_EVAL_ENGINES = ("fused", "batched", "sequential")
 
 
 def _check_eval_engine(engine: str, dtype: str,
-                       lane_threads: Optional[int] = None) -> None:
+                       lane_threads: Optional[int] = None,
+                       backend=None) -> None:
     if engine not in EVAL_ENGINES:
         raise ValueError(f"unknown engine '{engine}'; options: {EVAL_ENGINES}")
     if engine != "fused" and dtype != "float64":
         raise ValueError("dtype overrides require the fused engine")
-    if engine != "fused" and lane_threads is not None and int(lane_threads) > 1:
-        raise ValueError("lane_threads > 1 requires the fused engine")
+    if engine != "fused" and lane_threads is not None and int(lane_threads) != 1:
+        raise ValueError("lane_threads overrides require the fused engine")
+    if engine != "fused" and backend is not None:
+        raise ValueError("backend overrides require the fused engine")
 
 
 class FaultInjector(contextlib.AbstractContextManager):
@@ -402,7 +405,8 @@ def evaluate_with_faults(model: SpikingClassifier, loader,
                          dtype: str = "float64",
                          plan_cache=None,
                          plan_token: Optional[str] = None,
-                         lane_threads: Optional[int] = None) -> float:
+                         lane_threads: Optional[int] = None,
+                         backend: Optional[str] = None) -> float:
     """Measure the classification accuracy of ``model`` under fault injection.
 
     Parameters
@@ -436,8 +440,13 @@ def evaluate_with_faults(model: SpikingClassifier, loader,
         the per-call state hashing (ignored without ``plan_cache``).
     lane_threads:
         Fork-lane thread count of the fused engine (``None`` resolves
-        ``REPRO_LANE_THREADS``, default 1).  Results are bit-identical
-        for every value; requires ``engine="fused"`` when > 1.
+        ``REPRO_LANE_THREADS``, default 1; 0 auto-sizes).  Results are
+        bit-identical for every value; non-default values require
+        ``engine="fused"``.
+    backend:
+        Kernel backend of the fused engine (``None`` resolves
+        ``REPRO_BACKEND``, default ``"numpy"``).  float64 results are
+        byte-identical across backends; requires ``engine="fused"``.
 
     Returns
     -------
@@ -445,7 +454,7 @@ def evaluate_with_faults(model: SpikingClassifier, loader,
         Accuracy in ``[0, 1]``.
     """
 
-    _check_eval_engine(engine, dtype, lane_threads)
+    _check_eval_engine(engine, dtype, lane_threads, backend)
     if array is None:
         if fault_map is None:
             raise ValueError("either fault_map or array must be provided")
@@ -457,7 +466,8 @@ def evaluate_with_faults(model: SpikingClassifier, loader,
         with FusedFaultEngine(model, [array], dtype=dtype,
                               plan_cache=plan_cache,
                               plan_token=plan_token,
-                              lane_threads=lane_threads) as fused:
+                              lane_threads=lane_threads,
+                              backend=backend) as fused:
             return fused.evaluate(loader)[0]
 
     was_training = model.training
@@ -485,7 +495,8 @@ def evaluate_with_faults_batched(model: SpikingClassifier, loader,
                                  dtype: str = "float64",
                                  plan_cache=None,
                                  plan_token: Optional[str] = None,
-                                 lane_threads: Optional[int] = None
+                                 lane_threads: Optional[int] = None,
+                                 backend: Optional[str] = None
                                  ) -> List[float]:
     """Measure per-fault-map accuracies of ``model`` in one multi-map pass.
 
@@ -522,10 +533,14 @@ def evaluate_with_faults_batched(model: SpikingClassifier, loader,
         the per-call state hashing (ignored without ``plan_cache``).
     lane_threads:
         Fork-lane thread count of the fused engine (``None`` resolves
-        ``REPRO_LANE_THREADS``, default 1): the per-step fork work of the
-        maps is split into that many thread-parallel lanes.  Results are
-        bit-identical for every value; requires ``engine="fused"`` when
-        > 1.
+        ``REPRO_LANE_THREADS``, default 1; 0 auto-sizes): the per-step
+        fork work of the maps is split into that many thread-parallel
+        lanes.  Results are bit-identical for every value; non-default
+        values require ``engine="fused"``.
+    backend:
+        Kernel backend of the fused engine (``None`` resolves
+        ``REPRO_BACKEND``, default ``"numpy"``).  float64 results are
+        byte-identical across backends; requires ``engine="fused"``.
 
     Returns
     -------
@@ -537,7 +552,7 @@ def evaluate_with_faults_batched(model: SpikingClassifier, loader,
         machinery relies on.
     """
 
-    _check_eval_engine(engine, dtype, lane_threads)
+    _check_eval_engine(engine, dtype, lane_threads, backend)
     if engine == "fused":
         from ..snn.inference import FusedFaultEngine
 
@@ -551,7 +566,8 @@ def evaluate_with_faults_batched(model: SpikingClassifier, loader,
         with FusedFaultEngine(model, arrays, dtype=dtype,
                               plan_cache=plan_cache,
                               plan_token=plan_token,
-                              lane_threads=lane_threads) as fused:
+                              lane_threads=lane_threads,
+                              backend=backend) as fused:
             return fused.evaluate(loader)
 
     if array is None:
@@ -592,7 +608,8 @@ def evaluate_with_transient_faults(model: SpikingClassifier, loader,
                                    dtype: str = "float64",
                                    plan_cache=None,
                                    plan_token: Optional[str] = None,
-                                   lane_threads: Optional[int] = None
+                                   lane_threads: Optional[int] = None,
+                                   backend: Optional[str] = None
                                    ) -> List[float]:
     """Measure per-schedule accuracies of ``model`` under transient faults.
 
@@ -617,7 +634,7 @@ def evaluate_with_transient_faults(model: SpikingClassifier, loader,
         results are bit-identical across all three.
     dtype:
         ``"float64"`` (default) or ``"float32"`` (fused engine only).
-    plan_cache / plan_token / lane_threads:
+    plan_cache / plan_token / lane_threads / backend:
         Fused-engine options, as in :func:`evaluate_with_faults_batched`.
 
     Returns
@@ -640,8 +657,10 @@ def evaluate_with_transient_faults(model: SpikingClassifier, loader,
             f"unknown engine '{engine}'; options: {TRANSIENT_EVAL_ENGINES}")
     if engine != "fused" and dtype != "float64":
         raise ValueError("dtype overrides require the fused engine")
-    if engine != "fused" and lane_threads is not None and int(lane_threads) > 1:
-        raise ValueError("lane_threads > 1 requires the fused engine")
+    if engine != "fused" and lane_threads is not None and int(lane_threads) != 1:
+        raise ValueError("lane_threads overrides require the fused engine")
+    if engine != "fused" and backend is not None:
+        raise ValueError("backend overrides require the fused engine")
 
     if engine == "fused":
         from ..snn.inference import FusedFaultEngine
@@ -649,7 +668,8 @@ def evaluate_with_transient_faults(model: SpikingClassifier, loader,
         with FusedFaultEngine(model, schedules=schedules, fmt=fmt,
                               dtype=dtype, plan_cache=plan_cache,
                               plan_token=plan_token,
-                              lane_threads=lane_threads) as fused:
+                              lane_threads=lane_threads,
+                              backend=backend) as fused:
             return fused.evaluate(loader)
 
     was_training = model.training

@@ -13,10 +13,23 @@ per time step -- no autograd graph construction.
   sharing: each fault map forks off the shared clean lane at the first
   affine layer its faults actually corrupt.
 
+Kernel execution is dispatched through the pluggable backend registry in
+:mod:`repro.snn.inference.backends` (``--backend`` / ``REPRO_BACKEND``);
+the numpy float64 path is the byte-identity oracle every other backend is
+differentially tested against.
+
 See the README's "Fused inference engine" section for the architecture and
 the bit-identity guarantees.
 """
 
+from .backends import (
+    Backend,
+    BackendUnavailableError,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend_name,
+)
 from .engine import FusedFaultEngine, FusedInferenceEngine, resolve_lane_threads
 from .plan_cache import PlanCache, default_plan_cache
 from .plan import (
@@ -33,6 +46,8 @@ from .plan import (
 
 __all__ = [
     "AffineSpec",
+    "Backend",
+    "BackendUnavailableError",
     "BatchNormSpec",
     "FlattenSpec",
     "FusedFaultEngine",
@@ -43,7 +58,11 @@ __all__ = [
     "PlanBuilder",
     "PlanCache",
     "PoolSpec",
+    "available_backends",
     "default_plan_cache",
+    "get_backend",
     "lower_plan",
+    "register_backend",
+    "resolve_backend_name",
     "resolve_lane_threads",
 ]

@@ -55,8 +55,9 @@ import numpy as np
 
 from ...systolic.array import BatchedSystolicArray, SystolicArray
 from ...systolic.mapping import faulty_weight_mask
+from .backends import get_backend
+from .backends.ops_numpy import NeuronKernel
 from .faulty_gemm import FaultyAffineRunner
-from .kernels import NeuronKernel, make_kernel
 from .plan import SUPPORTED_DTYPES, AffineSpec, InferencePlan, lower_plan
 
 __all__ = ["FusedInferenceEngine", "FusedFaultEngine", "resolve_lane_threads"]
@@ -65,8 +66,11 @@ __all__ = ["FusedInferenceEngine", "FusedFaultEngine", "resolve_lane_threads"]
 def resolve_lane_threads(value: Optional[int] = None) -> int:
     """Resolve a lane-thread count, defaulting to ``REPRO_LANE_THREADS``.
 
-    ``None`` reads the environment variable (default 1).  The result is
-    always at least 1; a non-integer or non-positive request raises.
+    ``None`` reads the environment variable (default 1).  ``0`` is the
+    *auto* sentinel: the fault engine sizes its lanes from the fork-order
+    length and ``os.cpu_count()`` at construction (byte-identity holds at
+    any lane count, so auto-sizing is always safe).  A non-integer or
+    negative request raises.
     """
 
     if value is None:
@@ -75,8 +79,9 @@ def resolve_lane_threads(value: Optional[int] = None) -> int:
         threads = int(value)
     except (TypeError, ValueError):
         raise ValueError(f"lane_threads must be an integer; got {value!r}") from None
-    if threads < 1:
-        raise ValueError(f"lane_threads must be at least 1; got {threads}")
+    if threads < 0:
+        raise ValueError(
+            f"lane_threads must be >= 0 (0 = auto-size); got {threads}")
     return threads
 
 
@@ -123,16 +128,24 @@ class FusedInferenceEngine:
     plan_token:
         Optional precomputed model token, skipping the state hashing on a
         cache lookup (ignored without ``plan_cache``).
+    backend:
+        Kernel backend name (or :class:`~repro.snn.inference.backends
+        .Backend` instance); ``None`` resolves ``REPRO_BACKEND`` falling
+        back to ``"numpy"``.  Every backend's float64 output is
+        byte-identical to the numpy oracle, so the choice never enters
+        result semantics (or cache keys) -- only speed.
     """
 
     def __init__(self, model, dtype: str = "float64", plan_cache=None,
-                 plan_token: Optional[str] = None) -> None:
+                 plan_token: Optional[str] = None, backend=None) -> None:
         self.plan: InferencePlan = (
             plan_cache.get_plan(model, token=plan_token)
             if plan_cache is not None else lower_plan(model))
         self.dtype = _check_dtype(dtype)
-        self._kernels = [make_kernel(op, self.dtype, affine_mode="software")
-                         for op in self.plan.ops]
+        self.backend = backend if hasattr(backend, "make_kernel") else get_backend(backend)
+        self._kernels = [
+            self.backend.make_kernel(op, self.dtype, affine_mode="software")
+            for op in self.plan.ops]
         self._prefix = self.plan.static_prefix
 
     def _reset_state(self) -> None:
@@ -241,7 +254,8 @@ class FusedFaultEngine:
         ``REPRO_LANE_THREADS`` (falling back to 1).  With ``n > 1`` the
         forked maps are split into ``min(n, forked)`` contiguous lanes of
         the fork order and each time step's lane work runs on a thread
-        pool.  Results are bit-identical for every thread count (see the
+        pool.  ``0`` auto-sizes: ``min(forked, os.cpu_count())`` lanes.
+        Results are bit-identical for every thread count (see the
         module docstring); 1 keeps the engine single-threaded.
     schedules:
         One :class:`~repro.faults.fault_map.FaultSchedule` per map for
@@ -254,13 +268,19 @@ class FusedFaultEngine:
         Accumulator format for the transient path; defaults to the
         schedules' pinned format (required when the schedules do not pin
         one).  Ignored with ``arrays``.
+    backend:
+        Kernel backend name (or instance); ``None`` resolves
+        ``REPRO_BACKEND`` falling back to ``"numpy"``.  Float64 results
+        are byte-identical across backends (the numpy path is the oracle),
+        so the backend never enters campaign cache keys -- exactly the
+        ``lane_threads`` rule.
     """
 
     def __init__(self, model, arrays: Optional[Sequence[SystolicArray]] = None,
                  dtype: str = "float64", plan_cache=None,
                  plan_token: Optional[str] = None,
                  lane_threads: Optional[int] = None,
-                 schedules=None, fmt=None) -> None:
+                 schedules=None, fmt=None, backend=None) -> None:
         if (arrays is None) == (schedules is None):
             raise ValueError(
                 "FusedFaultEngine needs exactly one of arrays (permanent "
@@ -269,6 +289,7 @@ class FusedFaultEngine:
             plan_cache.get_plan(model, token=plan_token)
             if plan_cache is not None else lower_plan(model))
         self.dtype = _check_dtype(dtype)
+        self.backend = backend if hasattr(backend, "make_kernel") else get_backend(backend)
         self.lane_threads = resolve_lane_threads(lane_threads)
         affine_specs = self.plan.affine_specs
         ops = self.plan.ops
@@ -335,8 +356,13 @@ class FusedFaultEngine:
         # Contiguous lane partition of the fork order.  One lane reproduces
         # the serial engine exactly; more lanes split the per-step fork work
         # into independent threads (per-slice GEMMs, elementwise kernels and
-        # disjoint chain scatters make any partition bit-identical).
-        n_lanes = min(self.lane_threads, len(self.fork_order))
+        # disjoint chain scatters make any partition bit-identical).  The
+        # auto sentinel (0) sizes from the work actually available.
+        requested = self.lane_threads
+        if requested == 0:
+            requested = max(1, min(len(self.fork_order), os.cpu_count() or 1))
+            self.lane_threads = requested
+        n_lanes = min(requested, len(self.fork_order))
         bounds = np.linspace(0, len(self.fork_order), n_lanes + 1).astype(int)
         subset_cache = {}
         self._lanes: List[_Lane] = []
@@ -363,7 +389,8 @@ class FusedFaultEngine:
                             [phase_arrays[phase][f] for f in active])
                         subset_cache[(phase, key)] = subset
                     runner = FaultyAffineRunner(
-                        subset, subset.prepare_weight(spec.weight), spec)
+                        subset, subset.prepare_weight(spec.weight), spec,
+                        backend=self.backend)
                     layers[phase].append(
                         _AffineExec(spec, runner, prev, len(active)))
             start = op_of_affine[min(self._divergence[f] for f in maps)]
@@ -373,11 +400,13 @@ class FusedFaultEngine:
             # Each lane gets its own kernels, so neuron state and scratch
             # buffers are lane-private -- threads never share a buffer.
             kernels = [None if isinstance(op, AffineSpec) or i < start
-                       else make_kernel(op, self.dtype, batch_ndim=2)
+                       else self.backend.make_kernel(op, self.dtype,
+                                                     batch_ndim=2)
                        for i, op in enumerate(ops)]
             self._lanes.append(_Lane(maps, start, layers, kernels))
 
-        self._clean = [make_kernel(op, self.dtype, affine_mode="array")
+        self._clean = [self.backend.make_kernel(op, self.dtype,
+                                                affine_mode="array")
                        for op in ops]
         self._prefix = self.plan.static_prefix
         # Lane pool: lane 0 always runs on the calling thread, so the pool
@@ -624,7 +653,8 @@ class FusedFaultEngine:
         scale = 1.0 / steps
         reference = acc_c if acc_c is not None else lane_accs[0]
         num_classes = reference.shape[-1]
-        rates = np.empty((self.num_maps, batch, num_classes), dtype=self.dtype)
+        rates = self.backend.empty((self.num_maps, batch, num_classes),
+                                   dtype=self.dtype)
         if acc_c is not None:
             np.multiply(acc_c, scale, out=acc_c)
         for lane, acc in zip(self._lanes, lane_accs):

@@ -49,9 +49,17 @@ class FaultyAffineRunner:
         ``subset.prepare_weight(spec.weight)`` for this layer.
     spec:
         The layer's :class:`~repro.snn.inference.plan.AffineSpec`.
+    backend:
+        Optional :class:`~repro.snn.inference.backends.Backend` supplying
+        the stuck-at forcing kernel, the im2col gather and the chain
+        driver; ``None`` keeps the shared numpy/chain-kernel paths.  The
+        subset's own :class:`~repro.systolic.chain_kernel.StuckAtKernel`
+        is replaced by ``backend.stuck_at_kernel`` over the same format,
+        which must be (and for the in-tree backends is) bit-identical.
     """
 
-    def __init__(self, subset: BatchedSystolicArray, prepared, spec) -> None:
+    def __init__(self, subset: BatchedSystolicArray, prepared, spec,
+                 backend=None) -> None:
         self.subset = subset
         self.prepared = prepared
         self.num_maps = subset.num_maps
@@ -62,7 +70,14 @@ class FaultyAffineRunner:
         self.bias = None if spec.bias is None else np.asarray(spec.bias,
                                                               dtype=np.float64)
         self.rows = subset.rows
-        self.kernel = subset._stuck_kernel
+        if backend is None:
+            self.kernel = subset._stuck_kernel
+            self._im2col = im2col
+            self._apply_plan = apply_chain_plan
+        else:
+            self.kernel = backend.stuck_at_kernel(subset.fmt)
+            self._im2col = backend.im2col
+            self._apply_plan = backend.apply_chain_plan
 
     # ------------------------------------------------------------------
     def _apply_chains(self, x: np.ndarray, output: np.ndarray,
@@ -71,7 +86,7 @@ class FaultyAffineRunner:
             for plan in self.prepared.chain_plans:
                 # Read the block cap through the module so tests can shrink
                 # it to force the multi-chunk path.
-                apply_chain_plan(plan.uniform, x, output, shared, self.kernel,
+                self._apply_plan(plan.uniform, x, output, shared, self.kernel,
                                  self.rows,
                                  systolic_array._CHAIN_BLOCK_ELEMENTS)
         else:
@@ -118,13 +133,13 @@ class FaultyAffineRunner:
         kh, kw = spec.weight.shape[2], spec.weight.shape[3]
         if shared:
             batch = x.shape[0]
-            cols = im2col(x, (kh, kw), spec.stride, spec.padding)
+            cols = self._im2col(x, (kh, kw), spec.stride, spec.padding)
             _, out_h, out_w, k = cols.shape
             flat = cols.reshape(batch * out_h * out_w, k)
         else:
             batch = x.shape[1]
-            cols = im2col(x.reshape((self.num_maps * batch,) + x.shape[2:]),
-                          (kh, kw), spec.stride, spec.padding)
+            cols = self._im2col(x.reshape((self.num_maps * batch,) + x.shape[2:]),
+                                (kh, kw), spec.stride, spec.padding)
             _, out_h, out_w, k = cols.shape
             flat = cols.reshape(self.num_maps, batch * out_h * out_w, k)
         flat_out = self.matmul(flat, shared)

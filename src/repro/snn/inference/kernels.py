@@ -1,44 +1,22 @@
-"""Fused pure-numpy runtime kernels for the lowered inference plan.
+"""Compatibility shim: the numpy kernels moved to ``backends/ops_numpy.py``.
 
-Each kernel executes one :mod:`repro.snn.inference.plan` spec on plain
-numpy arrays: no ``Tensor`` wrappers, no backward closures, and state
-buffers (membrane potentials, scratch arrays) preallocated per shape and
-updated in place.  A whole neuron time step -- charge, fire, reset -- runs
-as a handful of ``out=``-style ufunc calls over the same buffers.
-
-Bit-identity contract (``float64``): every kernel performs *exactly* the
-elementwise/GEMM operations of its autograd counterpart, in the same order
-and on arrays of the same shape and memory layout.  IEEE-754 arithmetic is
-deterministic given that, so fused float64 outputs match the autograd
-forward bit for bit (the property tests in
-``tests/test_inference_engine.py`` assert it).  In ``float32`` mode the
-same expressions are evaluated in single precision; results agree with the
-float64 path to rounding tolerance, except near the spike threshold where a
-rounding flip changes a spike (see the README's inference-engine section).
-
-Affine kernels come in two flavours:
-
-* ``software`` -- the autograd forward's geometry (4D ``cols @ W.T`` for
-  convolutions), bit-identical to ``model(x)`` in eval mode.
-* ``array`` -- the systolic-array simulator's geometry (flattened 2D GEMM
-  via :func:`~repro.systolic.mapping.as_weight_matrix`), bit-identical to a
-  fault-free :meth:`~repro.systolic.array.SystolicArray.matmul` /
-  ``conv2d`` and therefore to the clean columns of a faulty pass.
+The fused runtime kernels are now owned by the default numpy backend of
+the pluggable kernel-backend registry (:mod:`repro.snn.inference.backends`).
+This module keeps the historical import path working; new code should go
+through :func:`repro.snn.inference.backends.get_backend` and
+``Backend.make_kernel`` instead of calling :func:`make_kernel` directly.
 """
 
 from __future__ import annotations
 
-from typing import Optional
-
-import numpy as np
-
-from ...autograd.functional import im2col
-from .plan import (
-    AffineSpec,
-    BatchNormSpec,
-    FlattenSpec,
-    NeuronSpec,
-    PoolSpec,
+from .backends.ops_numpy import (
+    ArrayAffineKernel,
+    BatchNormKernel,
+    FlattenKernel,
+    NeuronKernel,
+    PoolKernel,
+    SoftwareAffineKernel,
+    make_kernel,
 )
 
 __all__ = [
@@ -50,252 +28,3 @@ __all__ = [
     "ArrayAffineKernel",
     "make_kernel",
 ]
-
-
-class NeuronKernel:
-    """Fused charge -> fire -> reset update for one spiking layer.
-
-    The membrane potential lives in ``self.v`` and is updated in place:
-    after :meth:`run` it holds the post-reset potential, exactly like
-    ``BaseNode.forward`` leaves ``self.v``.
-    """
-
-    def __init__(self, spec: NeuronSpec, dtype: np.dtype) -> None:
-        self.inv_tau = spec.inv_tau
-        self.threshold = spec.v_threshold
-        self.v_reset = spec.v_reset
-        self.rest = 0.0 if spec.v_reset is None else float(spec.v_reset)
-        self.dtype = dtype
-        self.v: Optional[np.ndarray] = None
-
-    def reset(self) -> None:
-        self.v = None
-
-    def _init_buffers(self, shape: tuple) -> None:
-        fill = 0.0 if self.v_reset is None else float(self.v_reset)
-        self.v = np.full(shape, fill, dtype=self.dtype)
-        self._scratch = np.empty(shape, dtype=self.dtype)
-        self._z = np.empty(shape, dtype=self.dtype)
-        self._spike = np.empty(shape, dtype=self.dtype)
-        self._mask = np.empty(shape, dtype=bool)
-
-    def run(self, x: np.ndarray) -> np.ndarray:
-        if self.v is None or self.v.shape != x.shape:
-            self._init_buffers(x.shape)
-        v = self.v
-        # Charge: H_t = v + x (IF) or v + (x - (v - rest)) * inv_tau
-        # (LIF/PLIF); ``v`` holds H_t afterwards.
-        if self.inv_tau is None:
-            np.add(v, x, out=v)
-        else:
-            t = self._scratch
-            np.subtract(v, self.rest, out=t)
-            np.subtract(x, t, out=t)
-            np.multiply(t, self.inv_tau, out=t)
-            np.add(v, t, out=v)
-        # Fire: spike = Heaviside(H / V_th - 1).  Writing the comparison
-        # straight into the float buffer yields exactly the 0.0/1.0 values
-        # of the autograd path's bool->float64 astype.
-        z = self._z
-        np.divide(v, self.threshold, out=z)
-        np.subtract(z, 1.0, out=z)
-        spike = self._spike
-        np.greater(z, 0.0, out=spike, casting="unsafe")
-        # Reset: soft subtracts V_th from firing neurons, hard pins them to
-        # v_reset; ``v`` holds the next membrane potential afterwards.
-        if self.v_reset is None:
-            np.multiply(spike, self.threshold, out=z)
-            np.subtract(v, z, out=v)
-        else:
-            np.greater(spike, 0.5, out=self._mask)
-            np.copyto(v, self.v_reset, where=self._mask)
-        return spike
-
-
-class BatchNormKernel:
-    """Eval-mode batch normalisation from frozen running statistics.
-
-    ``batch_ndim`` is the number of leading batch-like axes: 1 for the
-    plain lane, 2 in the fork lane of the fault engine, where activations
-    carry a leading fault-map axis (``(F, batch, C, H, W)``).  The extra
-    axis only changes broadcasting shapes, not per-element arithmetic.
-    """
-
-    def __init__(self, spec: BatchNormSpec, dtype: np.dtype,
-                 batch_ndim: int = 1) -> None:
-        self.spec = spec
-        self.dtype = dtype
-        self.batch_ndim = batch_ndim
-        self._views = None
-        self._out: Optional[np.ndarray] = None
-
-    def _build_views(self, ndim: int):
-        if ndim == self.batch_ndim + 3:
-            view = (1,) * self.batch_ndim + (-1, 1, 1)
-        elif ndim == self.batch_ndim + 1:
-            view = (1,) * self.batch_ndim + (-1,)
-        else:
-            raise ValueError(
-                f"batch norm expects {self.batch_ndim + 1}D or "
-                f"{self.batch_ndim + 3}D input, got {ndim}D")
-        spec = self.spec
-        mean = spec.running_mean.reshape(view).astype(self.dtype)
-        # Same expression as the autograd eval branch: (var + eps) ** -0.5.
-        inv_std = ((spec.running_var.reshape(view).astype(self.dtype)
-                    + self.dtype.type(spec.eps)) ** -0.5)
-        gamma = spec.gamma.reshape(view).astype(self.dtype)
-        beta = spec.beta.reshape(view).astype(self.dtype)
-        return mean, inv_std, gamma, beta
-
-    def run(self, x: np.ndarray) -> np.ndarray:
-        if self._views is None or self._views[0].ndim != x.ndim:
-            self._views = self._build_views(x.ndim)
-        mean, inv_std, gamma, beta = self._views
-        if self._out is None or self._out.shape != x.shape:
-            self._out = np.empty(x.shape, dtype=self.dtype)
-        out = self._out
-        np.subtract(x, mean, out=out)
-        np.multiply(out, inv_std, out=out)
-        np.multiply(out, gamma, out=out)
-        np.add(out, beta, out=out)
-        return out
-
-
-class PoolKernel:
-    """Non-overlapping average/max pooling with square windows.
-
-    Window reductions touch the same elements in the same order regardless
-    of how many leading batch-like axes (``batch_ndim``) precede the
-    ``(C, H, W)`` block, so per-element results match the single-batch-axis
-    autograd path bit for bit.
-    """
-
-    def __init__(self, spec: PoolSpec, dtype: np.dtype, batch_ndim: int = 1) -> None:
-        self.kind = spec.kind
-        self.k = spec.kernel_size
-        self.batch_ndim = batch_ndim
-
-    def run(self, x: np.ndarray) -> np.ndarray:
-        lead = x.shape[:self.batch_ndim]
-        channels, height, width = x.shape[self.batch_ndim:]
-        k = self.k
-        out_h, out_w = height // k, width // k
-        windows_shape = lead + (channels, out_h, k, out_w, k)
-        base = self.batch_ndim
-        if self.kind == "avg":
-            # Matches Tensor.mean: a sum reduction scaled by 1/count (NOT
-            # np.mean, whose division is a different rounding).
-            reshaped = x.reshape(windows_shape)
-            return reshaped.sum(axis=(base + 2, base + 4)) * (1.0 / (k * k))
-        reshaped = x.reshape(windows_shape)
-        perm = tuple(range(base)) + (base, base + 1, base + 3, base + 2, base + 4)
-        windows = reshaped.transpose(perm).reshape(
-            lead + (channels, out_h, out_w, k * k))
-        return windows.max(axis=-1)
-
-
-class FlattenKernel:
-    def __init__(self, spec: FlattenSpec, dtype: np.dtype, batch_ndim: int = 1) -> None:
-        self.batch_ndim = batch_ndim
-
-    def run(self, x: np.ndarray) -> np.ndarray:
-        return x.reshape(x.shape[:self.batch_ndim] + (-1,))
-
-
-class SoftwareAffineKernel:
-    """Conv/FC with the autograd forward's exact GEMM geometry."""
-
-    def __init__(self, spec: AffineSpec, dtype: np.dtype) -> None:
-        self.spec = spec
-        if dtype == np.dtype(np.float64):
-            self.weight = spec.weight
-            self.bias = spec.bias
-        else:
-            self.weight = spec.weight.astype(dtype)
-            self.bias = None if spec.bias is None else spec.bias.astype(dtype)
-
-    def run(self, x: np.ndarray) -> np.ndarray:
-        spec = self.spec
-        if spec.kind == "linear":
-            out = x @ self.weight.T
-            if self.bias is not None:
-                out = out + self.bias
-            return out
-        out_channels = self.weight.shape[0]
-        kh, kw = self.weight.shape[2], self.weight.shape[3]
-        cols = im2col(x, (kh, kw), spec.stride, spec.padding)
-        out = cols @ self.weight.reshape(out_channels, -1).T
-        if self.bias is not None:
-            out = out + self.bias
-        return out.transpose(0, 3, 1, 2)
-
-
-class ArrayAffineKernel:
-    """Fault-free Conv/FC with the systolic-array simulator's geometry.
-
-    Convolutions flatten the im2col patches to a 2D ``(batch * out_h *
-    out_w, k)`` GEMM operand, exactly like
-    :meth:`~repro.systolic.array.SystolicArray.conv2d`, so the output of
-    this kernel is bit-identical (float64) to running the layer through a
-    fault-free array -- which is what the clean lane of a multi-fault-map
-    pass must reproduce.
-    """
-
-    def __init__(self, spec: AffineSpec, dtype: np.dtype) -> None:
-        from ...systolic.mapping import as_weight_matrix
-
-        self.spec = spec
-        # .astype always copies, matching SystolicArray.matmul's weight prep
-        # (same C-contiguous layout for the GEMM's B operand).
-        self.weight_matrix = as_weight_matrix(spec.weight).astype(dtype)
-        self.bias = None if spec.bias is None else np.asarray(spec.bias, dtype=dtype)
-
-    def run(self, x: np.ndarray) -> np.ndarray:
-        spec = self.spec
-        if spec.kind == "linear":
-            out = x @ self.weight_matrix.T
-            if self.bias is not None:
-                out = out + self.bias
-            return out
-        kh, kw = spec.weight.shape[2], spec.weight.shape[3]
-        cols = im2col(x, (kh, kw), spec.stride, spec.padding)
-        batch, out_h, out_w, k = cols.shape
-        flat = cols.reshape(batch * out_h * out_w, k)
-        out = flat @ self.weight_matrix.T
-        if self.bias is not None:
-            out = out + self.bias
-        out_channels = self.weight_matrix.shape[0]
-        return out.reshape(batch, out_h, out_w, out_channels).transpose(0, 3, 1, 2)
-
-
-_KERNELS = {
-    BatchNormSpec: BatchNormKernel,
-    PoolSpec: PoolKernel,
-    FlattenSpec: FlattenKernel,
-}
-
-
-def make_kernel(spec: object, dtype: np.dtype, affine_mode: str = "software",
-                batch_ndim: int = 1):
-    """Instantiate the runtime kernel for one plan spec.
-
-    ``affine_mode`` selects the GEMM geometry for :class:`AffineSpec` ops:
-    ``"software"`` (autograd-identical) or ``"array"`` (fault-free systolic
-    array, used for the clean lane of faulty passes).  ``batch_ndim`` is
-    the number of leading batch-like axes of the lane's activations (2 in
-    the fork lane, which carries a fault-map axis).
-    """
-
-    if isinstance(spec, AffineSpec):
-        if affine_mode == "software":
-            return SoftwareAffineKernel(spec, dtype)
-        if affine_mode == "array":
-            return ArrayAffineKernel(spec, dtype)
-        raise ValueError(f"unknown affine mode '{affine_mode}'")
-    if isinstance(spec, NeuronSpec):
-        return NeuronKernel(spec, dtype)
-    try:
-        factory = _KERNELS[type(spec)]
-    except KeyError:
-        raise TypeError(f"no runtime kernel for spec {type(spec).__name__}")
-    return factory(spec, dtype, batch_ndim=batch_ndim)

@@ -1,0 +1,371 @@
+"""Pluggable kernel-backend registry: selection semantics and bit identity.
+
+Covers the resolution order (argument > ``REPRO_BACKEND`` > numpy), the
+failure modes (unknown name lists the available backends; a known backend
+whose import or toolchain is missing raises when requested explicitly but
+degrades to numpy with a logged notice when selected via the environment),
+and the differential contract: every float64 record the cffi backend
+produces -- Fig. 5b stuck-at sweeps and transient/SEU schedules alike --
+must equal the numpy oracle ``tobytes()``-for-``tobytes()``.  The campaign
+cache-key schema is pinned backend-free, and the documented ``REPRO_*``
+environment-variable table is grepped against the source tree.
+"""
+
+import logging
+import re
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser
+from repro.datasets import DataLoader
+from repro.faults import (
+    CampaignPoint,
+    CampaignRunner,
+    build_faulty_array,
+    evaluate_with_faults,
+    evaluate_with_faults_batched,
+    evaluate_with_transient_faults,
+    random_fault_map,
+    schedule_from_process,
+)
+from repro.snn.inference import (
+    Backend,
+    BackendUnavailableError,
+    FusedFaultEngine,
+    FusedInferenceEngine,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend_name,
+)
+from repro.snn.inference import backends as registry
+from repro.systolic import DEFAULT_ACCUMULATOR_FORMAT
+from repro.utils.rng import derive_seed
+
+FMT = DEFAULT_ACCUMULATOR_FORMAT
+CFFI_AVAILABLE = "cffi" in available_backends()
+requires_cffi = pytest.mark.skipif(
+    not CFFI_AVAILABLE, reason="cffi backend not available on this machine")
+
+
+@pytest.fixture()
+def test_loader(tiny_mnist_data):
+    _, test = tiny_mnist_data
+    return DataLoader(test, batch_size=50)
+
+
+@pytest.fixture(autouse=True)
+def _clean_backend_env(monkeypatch):
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
+
+
+class _StubBackend(Backend):
+    """Minimal backend double with controllable availability."""
+
+    def __init__(self, name, ok=True, reason=None):
+        self.name = name
+        self._ok = ok
+        self._reason = reason
+
+    def available(self):
+        return self._ok
+
+    def unavailable_reason(self):
+        return self._reason
+
+
+def _fig5b_arrays(counts, seed=0):
+    """Fig. 5b-style stuck-at population: mixed counts, types and seeds."""
+
+    return [
+        build_faulty_array(
+            random_fault_map(8, 8, count, bit_position=None,
+                             stuck_type=index % 2, seed=seed + index))
+        for index, count in enumerate(counts)
+    ]
+
+
+def _transient_schedules(process="bernoulli", trials=2):
+    return [
+        schedule_from_process(process, 16, 16, 6, 3, fmt=FMT,
+                              seed=derive_seed(9, "backend", process, t))
+        for t in range(trials)
+    ]
+
+
+def _accuracy_bytes(accuracies) -> bytes:
+    return np.asarray(accuracies, dtype=np.float64).tobytes()
+
+
+# ----------------------------------------------------------------------
+# Selection: argument > REPRO_BACKEND > default
+# ----------------------------------------------------------------------
+class TestSelection:
+    def test_default_is_numpy(self):
+        assert get_backend().name == "numpy"
+        assert resolve_backend_name() == "numpy"
+        assert "numpy" in available_backends()
+
+    def test_env_selects_backend(self, monkeypatch):
+        monkeypatch.setitem(registry._REGISTRY, "stub", _StubBackend("stub"))
+        monkeypatch.setenv("REPRO_BACKEND", "stub")
+        assert get_backend().name == "stub"
+        assert resolve_backend_name() == "stub"
+
+    def test_argument_beats_env(self, monkeypatch):
+        monkeypatch.setitem(registry._REGISTRY, "stub", _StubBackend("stub"))
+        monkeypatch.setenv("REPRO_BACKEND", "stub")
+        assert get_backend("numpy").name == "numpy"
+
+    def test_names_are_normalised(self):
+        assert get_backend("  NumPy ").name == "numpy"
+        assert resolve_backend_name("NUMPY") == "numpy"
+
+    def test_backend_instances_pass_through_engines(self, trained_tiny_model,
+                                                    test_loader):
+        backend = get_backend("numpy")
+        engine = FusedInferenceEngine(trained_tiny_model, backend=backend)
+        assert engine.backend is backend
+
+    def test_register_rejects_empty_name(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            register_backend(_StubBackend("  "))
+
+
+# ----------------------------------------------------------------------
+# Failure modes: unknown names, unavailable backends, import errors
+# ----------------------------------------------------------------------
+class TestFailureModes:
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(ValueError, match="unknown backend 'nope'") as err:
+            get_backend("nope")
+        assert "numpy" in str(err.value)
+
+    def test_explicit_unavailable_raises(self, monkeypatch):
+        broken = _StubBackend("broken", ok=False, reason="no toolchain")
+        monkeypatch.setitem(registry._REGISTRY, "broken", broken)
+        with pytest.raises(BackendUnavailableError, match="no toolchain"):
+            get_backend("broken")
+
+    def test_env_unavailable_degrades_with_notice(self, monkeypatch, caplog):
+        broken = _StubBackend("broken", ok=False, reason="no toolchain")
+        monkeypatch.setitem(registry._REGISTRY, "broken", broken)
+        monkeypatch.setenv("REPRO_BACKEND", "broken")
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            assert get_backend().name == "numpy"
+        assert "falling back" in caplog.text
+        assert "broken" in caplog.text
+
+    def test_import_error_counts_as_unavailable(self, monkeypatch, caplog):
+        """An ops_* module that failed to import degrades, not crashes."""
+
+        monkeypatch.setitem(registry._IMPORT_ERRORS, "ghost",
+                            "No module named 'ghostlib'")
+        with pytest.raises(BackendUnavailableError, match="ghostlib"):
+            get_backend("ghost")
+        monkeypatch.setenv("REPRO_BACKEND", "ghost")
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            assert get_backend().name == "numpy"
+        assert "ghostlib" in caplog.text
+
+    def test_unavailable_backends_not_listed(self, monkeypatch):
+        broken = _StubBackend("broken", ok=False)
+        monkeypatch.setitem(registry._REGISTRY, "broken", broken)
+        assert "broken" not in available_backends()
+
+    def test_backend_requires_fused_engine(self, trained_tiny_model,
+                                           test_loader):
+        maps = [random_fault_map(8, 8, 2, seed=1)]
+        with pytest.raises(ValueError, match="fused"):
+            evaluate_with_faults_batched(trained_tiny_model, test_loader,
+                                         fault_maps=maps, engine="batched",
+                                         backend="numpy")
+        with pytest.raises(ValueError, match="fused"):
+            evaluate_with_faults(trained_tiny_model, test_loader,
+                                 fault_map=maps[0], engine="sequential",
+                                 backend="numpy")
+        with pytest.raises(ValueError, match="fused"):
+            CampaignRunner(trained_tiny_model, test_loader, engine="batched",
+                           backend="numpy")
+
+
+# ----------------------------------------------------------------------
+# Differential identity: cffi records == numpy records, byte for byte
+# ----------------------------------------------------------------------
+@requires_cffi
+class TestCffiByteIdentity:
+    def test_fault_free_rates_identical(self, trained_tiny_model, test_loader):
+        frame, _ = next(iter(test_loader))
+        oracle = FusedInferenceEngine(trained_tiny_model,
+                                      backend="numpy").run(frame)
+        rates = FusedInferenceEngine(trained_tiny_model,
+                                     backend="cffi").run(frame)
+        assert rates.dtype == np.float64
+        assert rates.tobytes() == oracle.tobytes()
+
+    def test_fig5b_sweep_rates_identical(self, trained_tiny_model,
+                                         test_loader):
+        """Per-map firing rates under a mixed stuck-at population."""
+
+        frame, _ = next(iter(test_loader))
+        with FusedFaultEngine(trained_tiny_model, _fig5b_arrays((0, 1, 2, 4, 8)),
+                              backend="numpy") as engine:
+            oracle = engine.run(frame)
+        with FusedFaultEngine(trained_tiny_model, _fig5b_arrays((0, 1, 2, 4, 8)),
+                              backend="cffi") as engine:
+            rates = engine.run(frame)
+        assert rates.tobytes() == oracle.tobytes()
+
+    def test_fig5b_accuracies_identical(self, trained_tiny_model, test_loader):
+        maps = [random_fault_map(8, 8, count, seed=31 + count)
+                for count in (0, 2, 5)]
+        oracle = evaluate_with_faults_batched(trained_tiny_model, test_loader,
+                                              fault_maps=maps, backend="numpy")
+        accuracies = evaluate_with_faults_batched(trained_tiny_model,
+                                                  test_loader, fault_maps=maps,
+                                                  backend="cffi")
+        assert _accuracy_bytes(accuracies) == _accuracy_bytes(oracle)
+
+    @pytest.mark.parametrize("process", ["bernoulli", "burst"])
+    def test_transient_schedules_identical(self, trained_tiny_model,
+                                           test_loader, process):
+        schedules = _transient_schedules(process)
+        oracle = evaluate_with_transient_faults(
+            trained_tiny_model, test_loader, schedules, engine="fused",
+            backend="numpy")
+        accuracies = evaluate_with_transient_faults(
+            trained_tiny_model, test_loader, schedules, engine="fused",
+            backend="cffi")
+        assert _accuracy_bytes(accuracies) == _accuracy_bytes(oracle)
+
+    def test_campaign_records_identical(self, trained_tiny_model, test_loader):
+        points = [CampaignPoint.for_trials(8, 8, count, trials=2,
+                                           seed=61 + count)
+                  for count in (1, 3)]
+        oracle = CampaignRunner(trained_tiny_model, test_loader,
+                                backend="numpy").run(points)
+        records = CampaignRunner(trained_tiny_model, test_loader,
+                                 backend="cffi").run(points)
+        assert records == oracle
+
+    def test_float32_requests_delegate_to_numpy_kernels(self,
+                                                        trained_tiny_model,
+                                                        test_loader):
+        """Non-float64 dtypes run the numpy kernels under the cffi backend."""
+
+        frame, _ = next(iter(test_loader))
+        numpy32 = FusedInferenceEngine(trained_tiny_model, dtype="float32",
+                                       backend="numpy").run(frame)
+        cffi32 = FusedInferenceEngine(trained_tiny_model, dtype="float32",
+                                      backend="cffi").run(frame)
+        assert cffi32.dtype == np.float32
+        assert cffi32.tobytes() == numpy32.tobytes()
+
+    def test_im2col_unit_identity(self, rng):
+        from repro.autograd.functional import im2col
+        from repro.snn.inference.backends.ops_cffi import _cffi_im2col
+
+        for (shape, kernel, stride, padding) in (
+                ((2, 3, 9, 9), (3, 3), 1, 1),
+                ((1, 1, 7, 5), (2, 4), 2, 0),
+                ((3, 2, 8, 8), (5, 5), 3, 2)):
+            x = rng.standard_normal(shape)
+            oracle = im2col(x, kernel, stride, padding)
+            cols = _cffi_im2col(x, kernel, stride, padding)
+            assert cols.shape == oracle.shape
+            assert cols.tobytes() == oracle.tobytes()
+
+    @pytest.mark.parametrize("spec_kwargs", [
+        dict(inv_tau=None, v_threshold=1.0, v_reset=None),   # IF, soft reset
+        dict(inv_tau=0.5, v_threshold=0.8, v_reset=0.0),     # LIF, hard reset
+    ], ids=["if-soft", "lif-hard"])
+    def test_neuron_unit_identity(self, spec_kwargs):
+        from repro.snn.inference.backends import ops_cffi, ops_numpy
+        from repro.snn.inference.plan import NeuronSpec
+
+        spec = NeuronSpec(**spec_kwargs)
+        oracle = ops_numpy.NeuronKernel(spec, np.float64)
+        kernel = ops_cffi.CffiNeuronKernel(spec, np.float64)
+        rng = np.random.default_rng(5)
+        for _ in range(3):   # state (v) evolves across steps
+            x = rng.standard_normal((4, 32))
+            ref = oracle.run(x)
+            out = kernel.run(x)
+            assert out.tobytes() == ref.tobytes()
+            assert kernel.v.tobytes() == oracle.v.tobytes()
+
+
+# ----------------------------------------------------------------------
+# Campaign plumbing: resolve-once semantics and backend-free cache keys
+# ----------------------------------------------------------------------
+class TestCampaignPlumbing:
+    def test_runner_resolves_backend_in_parent(self, trained_tiny_model,
+                                               test_loader, monkeypatch):
+        assert CampaignRunner(trained_tiny_model,
+                              test_loader).backend == "numpy"
+        monkeypatch.setitem(registry._REGISTRY, "stub", _StubBackend("stub"))
+        monkeypatch.setenv("REPRO_BACKEND", "stub")
+        runner = CampaignRunner(trained_tiny_model, test_loader)
+        assert runner.backend == "stub"   # env read once, in the parent
+
+    def test_non_fused_engines_skip_resolution(self, trained_tiny_model,
+                                               test_loader, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "definitely-not-registered")
+        runner = CampaignRunner(trained_tiny_model, test_loader,
+                                engine="batched")
+        assert runner.backend is None
+
+    def test_cache_payload_is_backend_free(self, trained_tiny_model,
+                                           test_loader, monkeypatch):
+        """float64 cache keys must stay byte-unchanged across backends."""
+
+        point = CampaignPoint.for_trials(8, 8, 2, trials=2, seed=3)
+        default = CampaignRunner(trained_tiny_model,
+                                 test_loader)._cache_payload(point)
+        assert "backend" not in default
+        monkeypatch.setitem(registry._REGISTRY, "stub", _StubBackend("stub"))
+        stub = CampaignRunner(trained_tiny_model, test_loader,
+                              backend="stub")._cache_payload(point)
+        assert stub == default
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_backend_flag_parses(self):
+        args = build_parser().parse_args(
+            ["campaign", "counts", "--engine", "fused", "--backend", "cffi"])
+        assert args.backend == "cffi"
+
+    def test_backend_defaults_to_none(self):
+        args = build_parser().parse_args(["campaign", "counts"])
+        assert args.backend is None   # engines then apply env > "numpy"
+
+
+# ----------------------------------------------------------------------
+# Documentation drift
+# ----------------------------------------------------------------------
+ENV_VAR = re.compile(r"REPRO_[A-Z0-9_]+")
+
+
+def test_env_var_table_in_sync():
+    """docs/ARCHITECTURE.md documents exactly the REPRO_* vars the code reads."""
+
+    root = Path(__file__).resolve().parents[1]
+    used = set()
+    for base in ("src", "benchmarks"):
+        for path in sorted((root / base).rglob("*.py")):
+            used.update(ENV_VAR.findall(path.read_text(encoding="utf-8")))
+    doc = (root / "docs" / "ARCHITECTURE.md").read_text(encoding="utf-8")
+    documented = {
+        ENV_VAR.search(line).group(0)
+        for line in doc.splitlines()
+        if line.startswith("| `REPRO_")
+    }
+    missing = used - documented
+    stale = documented - used
+    assert not missing, f"undocumented REPRO_* vars: {sorted(missing)}"
+    assert not stale, f"documented but unused REPRO_* vars: {sorted(stale)}"

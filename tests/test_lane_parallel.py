@@ -114,9 +114,42 @@ class TestLaneKnob:
 
     def test_invalid_values_rejected(self):
         with pytest.raises(ValueError):
-            resolve_lane_threads(0)
+            resolve_lane_threads(-1)
         with pytest.raises(ValueError):
             resolve_lane_threads("nope")
+
+    def test_zero_is_auto_sentinel(self, monkeypatch):
+        assert resolve_lane_threads(0) == 0
+        monkeypatch.setenv("REPRO_LANE_THREADS", "0")
+        assert resolve_lane_threads() == 0
+
+    def test_auto_sizes_from_forked_maps_and_cpus(self, trained_tiny_model,
+                                                  test_loader, monkeypatch):
+        """lane_threads=0 resolves to min(forked, cpu_count) at construction."""
+
+        import os
+
+        frame, _ = next(iter(test_loader))
+        arrays = _arrays(3, counts=[2, 3, 4])
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
+        with FusedFaultEngine(trained_tiny_model, arrays,
+                              lane_threads=0) as engine:
+            assert engine.lane_threads == 2          # min(3 forked, 2 cpus)
+            assert len(engine._lanes) == 2
+            auto = engine.run(frame)
+        serial = _rates(trained_tiny_model, arrays, frame, 1)
+        assert auto.tobytes() == serial.tobytes()
+
+    def test_auto_via_env(self, trained_tiny_model, test_loader, monkeypatch):
+        frame, _ = next(iter(test_loader))
+        arrays = _arrays(2, counts=[1, 2])
+        monkeypatch.setenv("REPRO_LANE_THREADS", "0")
+        with FusedFaultEngine(trained_tiny_model, arrays) as engine:
+            assert 1 <= engine.lane_threads <= 2
+            auto = engine.run(frame)
+        monkeypatch.delenv("REPRO_LANE_THREADS")
+        serial = _rates(trained_tiny_model, arrays, frame, 1)
+        assert auto.tobytes() == serial.tobytes()
 
     def test_lane_threads_require_fused_engine(self, trained_tiny_model,
                                                test_loader):
@@ -133,7 +166,7 @@ class TestLaneKnob:
     def test_runner_rejects_bad_lane_threads(self, trained_tiny_model,
                                              test_loader):
         with pytest.raises(ValueError):
-            CampaignRunner(trained_tiny_model, test_loader, lane_threads=0)
+            CampaignRunner(trained_tiny_model, test_loader, lane_threads=-1)
         with pytest.raises(ValueError):
             CampaignRunner(trained_tiny_model, test_loader, engine="batched",
                            lane_threads=2)
